@@ -1,0 +1,59 @@
+"""Figure 9: pmAUC as a function of the multi-class imbalance ratio.
+
+Experiment 3 of the paper sweeps the maximum imbalance ratio from 50 to 500
+and measures how each detector's pmAUC degrades — standard detectors collapse,
+skew-insensitive baselines hold up to moderate ratios, and RBM-IM is reported
+to stay robust throughout.  This harness regenerates the series on the
+artificial benchmark families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import DETECTOR_ORDER, bench_scale, run_imbalance_curve
+from repro.evaluation.results import format_series_table
+
+_SMALL_GRID = [
+    ("rbf", 5, [50.0, 200.0, 500.0]),
+    ("hyperplane", 5, [50.0, 200.0, 500.0]),
+]
+_FULL_GRID = [
+    (family, n_classes, [50.0, 100.0, 200.0, 300.0, 400.0, 500.0])
+    for family in ("agrawal", "hyperplane", "rbf", "randomtree")
+    for n_classes in (5, 10, 20)
+]
+
+
+def _grid():
+    return _FULL_GRID if bench_scale() == "full" else _SMALL_GRID
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("family,n_classes,ratios", _grid())
+def test_bench_fig9_imbalance_robustness(benchmark, family, n_classes, ratios):
+    """Reproduce one panel of Fig. 9 (pmAUC vs imbalance ratio)."""
+    series = benchmark.pedantic(
+        run_imbalance_curve,
+        args=(family, n_classes, ratios),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\n=== Fig. 9 panel: {family.capitalize()}{n_classes} ===")
+    print(format_series_table("imbalance_ratio", [int(r) for r in ratios], series))
+
+    for name in DETECTOR_ORDER:
+        assert len(series[name]) == len(ratios)
+        assert all(0.0 <= value <= 100.0 for value in series[name])
+
+    # Report the paper's headline comparison at the most extreme imbalance
+    # ratio; asserted only loosely because the scaled-down streams favour
+    # frequently-resetting detectors (see EXPERIMENTS.md).
+    extreme = {name: series[name][-1] for name in DETECTOR_ORDER}
+    best_standard = max(extreme["WSTD"], extreme["RDDM"], extreme["FHDDM"])
+    print(
+        f"\nExtreme imbalance (IR={int(ratios[-1])}): RBM-IM = {extreme['RBM-IM']:.1f}, "
+        f"best standard detector = {best_standard:.1f}"
+    )
+    assert extreme["RBM-IM"] >= best_standard - 30.0, extreme

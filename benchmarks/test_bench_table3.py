@@ -1,0 +1,70 @@
+"""Table III: pmAUC / pmGM of the six detectors over the benchmark streams.
+
+Regenerates the paper's main comparison table (Experiment 1).  For every
+benchmark stream the six detectors (WSTD, RDDM, FHDDM, PerfSim, DDM-OCI,
+RBM-IM) are paired with the same base classifier in a prequential run; the
+harness prints both metric tables together with the average ranks — the same
+rows the paper reports.  Run with ``-s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import DETECTOR_ORDER, results_to_tables, run_table3_experiment
+
+
+def _build_tables():
+    results = run_table3_experiment()
+    return results_to_tables(results)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_table3_pmauc_pmgm(benchmark):
+    """Reproduce Table III (pmAUC and pmGM per stream, plus average ranks)."""
+    pmauc, pmgm = benchmark.pedantic(_build_tables, rounds=1, iterations=1)
+
+    print("\n=== Table III (reproduced, scaled-down): pmAUC [%] ===")
+    print(pmauc.to_text())
+    print("\n=== Table III (reproduced, scaled-down): pmGM [%] ===")
+    print(pmgm.to_text())
+
+    # Structural checks: every stream has a value for every detector and the
+    # values are valid percentages.
+    matrix = pmauc.to_matrix()
+    assert matrix.shape[1] == len(DETECTOR_ORDER)
+    assert ((matrix >= 0.0) & (matrix <= 100.0)).all()
+
+    # Report the rank comparison the paper highlights (imbalance-aware vs
+    # standard detectors).  At the scaled-down benchmark size the ordering can
+    # deviate from the paper (see EXPERIMENTS.md), so this is reported rather
+    # than asserted; the assertion only checks the ranks are well-formed.
+    ranks = pmauc.ranks()
+    skew_aware = (ranks["PerfSim"] + ranks["DDM-OCI"] + ranks["RBM-IM"]) / 3.0
+    standard = (ranks["WSTD"] + ranks["RDDM"] + ranks["FHDDM"]) / 3.0
+    print(
+        f"\nMean rank, imbalance-aware detectors = {skew_aware:.2f}; "
+        f"standard detectors = {standard:.2f} (paper: imbalance-aware ahead)"
+    )
+    assert all(1.0 <= rank <= len(DETECTOR_ORDER) for rank in ranks.values())
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_table3_update_times(benchmark):
+    """Reproduce the timing rows of Table III (avg detector update time)."""
+
+    def collect_times():
+        results = run_table3_experiment()
+        totals = {name: 0.0 for name in DETECTOR_ORDER}
+        counts = {name: 0 for name in DETECTOR_ORDER}
+        for per_detector in results.values():
+            for name in DETECTOR_ORDER:
+                totals[name] += per_detector[name].detector_time
+                counts[name] += 1
+        return {name: totals[name] / max(counts[name], 1) for name in DETECTOR_ORDER}
+
+    times = benchmark.pedantic(collect_times, rounds=1, iterations=1)
+    print("\n=== Table III (reproduced): mean detector time per stream [s] ===")
+    for name in DETECTOR_ORDER:
+        print(f"  {name:10s} {times[name]:8.3f}")
+    assert all(value >= 0.0 for value in times.values())

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``python setup.py develop`` / legacy editable installs work in offline
+environments where PEP 660 editable builds (which require ``wheel``) are not
+available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of "Concept Drift Detection from Multi-Class Imbalanced Data Streams".
+
+The package provides:
+
+* :mod:`repro.core` — RBM-IM, the trainable skew-insensitive drift detector;
+* :mod:`repro.streams` — stream generators, drift injection, imbalance control,
+  the paper's benchmark scenarios, and real-world surrogates;
+* :mod:`repro.detectors` — standard and imbalance-aware baseline detectors;
+* :mod:`repro.classifiers` — streaming classifiers, including the paper's
+  cost-sensitive perceptron tree;
+* :mod:`repro.metrics` — prequential multi-class AUC / G-mean and drift scoring;
+* :mod:`repro.evaluation` — the prequential harness, experiment orchestration,
+  statistical tests, and online hyper-parameter tuning.
+
+Quick start::
+
+    from repro.core import RBMIM, RBMIMConfig
+    from repro.evaluation import PrequentialRunner, default_classifier_factory
+    from repro.streams import scenario_local_drift
+
+    scenario = scenario_local_drift(n_classes=5, n_drifted_classes=1, seed=1)
+    detector = RBMIM(scenario.n_features, scenario.n_classes, RBMIMConfig(seed=1))
+    runner = PrequentialRunner(default_classifier_factory)
+    result = runner.run(scenario, detector, n_instances=10_000)
+    print(result.pmauc, result.detections)
+"""
+
+from repro.core import RBMIM, RBMIMConfig, SkewInsensitiveRBM
+from repro.evaluation import PrequentialRunner, compare_detectors
+from repro.streams import (
+    make_artificial_stream,
+    real_world_stream,
+    scenario_global_drift,
+    scenario_local_drift,
+    scenario_role_switching,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RBMIM",
+    "RBMIMConfig",
+    "SkewInsensitiveRBM",
+    "PrequentialRunner",
+    "compare_detectors",
+    "make_artificial_stream",
+    "real_world_stream",
+    "scenario_global_drift",
+    "scenario_local_drift",
+    "scenario_role_switching",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Streaming classifiers: baselines and the paper's cost-sensitive base learner."""
+
+from repro.classifiers.base import (
+    MajorityClassClassifier,
+    NoChangeClassifier,
+    StreamClassifier,
+)
+from repro.classifiers.naive_bayes import GaussianNaiveBayes
+from repro.classifiers.perceptron import OnlinePerceptron
+from repro.classifiers.perceptron_tree import CostSensitivePerceptronTree
+
+__all__ = [
+    "StreamClassifier",
+    "MajorityClassClassifier",
+    "NoChangeClassifier",
+    "GaussianNaiveBayes",
+    "OnlinePerceptron",
+    "CostSensitivePerceptronTree",
+]

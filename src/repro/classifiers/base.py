@@ -1,0 +1,93 @@
+"""Streaming classifier interface used by the evaluation harness.
+
+All classifiers learn one instance at a time (``partial_fit``) and expose both
+hard predictions and class-probability scores; the scores feed the prequential
+multi-class AUC metric.  ``reset()`` rebuilds the model from scratch and is
+called by the harness when a drift detector signals a change.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["StreamClassifier", "MajorityClassClassifier", "NoChangeClassifier"]
+
+
+class StreamClassifier(abc.ABC):
+    """Base class for incremental (streaming) classifiers."""
+
+    def __init__(self, n_features: int, n_classes: int) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self._n_features = n_features
+        self._n_classes = n_classes
+
+    @property
+    def n_features(self) -> int:
+        return self._n_features
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @abc.abstractmethod
+    def partial_fit(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        """Learn a single labelled instance with an optional importance weight."""
+
+    @abc.abstractmethod
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability estimates for one instance (sums to 1)."""
+
+    def predict(self, x: np.ndarray) -> int:
+        """Most probable class for one instance."""
+        return int(np.argmax(self.predict_proba(x)))
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget everything learned so far (drift-triggered rebuild)."""
+
+
+class MajorityClassClassifier(StreamClassifier):
+    """Predicts the most frequent class seen so far (sanity-check baseline)."""
+
+    def __init__(self, n_features: int, n_classes: int) -> None:
+        super().__init__(n_features, n_classes)
+        self._counts = np.zeros(n_classes, dtype=np.float64)
+
+    def partial_fit(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        self._counts[int(y)] += weight
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        total = self._counts.sum()
+        if total == 0.0:
+            return np.full(self._n_classes, 1.0 / self._n_classes)
+        return self._counts / total
+
+    def reset(self) -> None:
+        self._counts[:] = 0.0
+
+
+class NoChangeClassifier(StreamClassifier):
+    """Predicts the previously observed label (persistence baseline)."""
+
+    def __init__(self, n_features: int, n_classes: int) -> None:
+        super().__init__(n_features, n_classes)
+        self._last_label: int | None = None
+
+    def partial_fit(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        self._last_label = int(y)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        proba = np.full(self._n_classes, 1.0 / self._n_classes)
+        if self._last_label is not None:
+            proba = np.full(self._n_classes, 1e-3)
+            proba[self._last_label] = 1.0
+            proba /= proba.sum()
+        return proba
+
+    def reset(self) -> None:
+        self._last_label = None

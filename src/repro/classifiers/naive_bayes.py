@@ -1,0 +1,69 @@
+"""Online Gaussian naive Bayes classifier.
+
+Per-class, per-feature running means and variances (Welford's algorithm) give
+a fully incremental Gaussian naive Bayes model — a light-weight baseline used
+in tests, examples, and as an alternative leaf model for the perceptron tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import StreamClassifier
+
+__all__ = ["GaussianNaiveBayes"]
+
+_MIN_VARIANCE = 1e-6
+
+
+class GaussianNaiveBayes(StreamClassifier):
+    """Incremental Gaussian naive Bayes with additive-smoothed priors."""
+
+    def __init__(self, n_features: int, n_classes: int, prior_smoothing: float = 1.0) -> None:
+        super().__init__(n_features, n_classes)
+        if prior_smoothing < 0.0:
+            raise ValueError("prior_smoothing must be >= 0")
+        self._prior_smoothing = prior_smoothing
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._counts = np.zeros(self._n_classes, dtype=np.float64)
+        self._means = np.zeros((self._n_classes, self._n_features))
+        self._m2 = np.zeros((self._n_classes, self._n_features))
+
+    def reset(self) -> None:
+        self._init_state()
+
+    def partial_fit(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = int(y)
+        # Weighted Welford update.
+        self._counts[y] += weight
+        delta = x - self._means[y]
+        self._means[y] += weight * delta / self._counts[y]
+        self._m2[y] += weight * delta * (x - self._means[y])
+
+    def _log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        log_likelihoods = np.zeros(self._n_classes)
+        for label in range(self._n_classes):
+            if self._counts[label] < 2.0:
+                log_likelihoods[label] = -1e6 if self._counts[label] == 0 else 0.0
+                continue
+            variance = self._m2[label] / self._counts[label]
+            variance = np.maximum(variance, _MIN_VARIANCE)
+            diff = x - self._means[label]
+            log_likelihoods[label] = float(
+                -0.5 * np.sum(np.log(2.0 * np.pi * variance) + diff**2 / variance)
+            )
+        return log_likelihoods
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        total = self._counts.sum()
+        priors = (self._counts + self._prior_smoothing) / (
+            total + self._prior_smoothing * self._n_classes
+        )
+        log_posterior = np.log(priors) + self._log_likelihood(x)
+        log_posterior -= log_posterior.max()
+        posterior = np.exp(log_posterior)
+        return posterior / posterior.sum()

@@ -1,0 +1,108 @@
+"""Online multi-class perceptron with optional cost-sensitive updates.
+
+A one-vs-rest linear model trained with perceptron/logistic-style updates on a
+running-standardised feature representation.  It is both a standalone baseline
+and the leaf model of the cost-sensitive perceptron tree (the paper's base
+classifier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import StreamClassifier
+
+__all__ = ["OnlinePerceptron"]
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+class OnlinePerceptron(StreamClassifier):
+    """Multi-class online perceptron with running feature standardisation.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size of the weight updates.
+    cost_sensitive:
+        When True, each update is additionally weighted by the inverse
+        relative frequency of the instance's class, boosting minority-class
+        learning (the "cost-sensitive" part of the paper's base classifier).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        learning_rate: float = 0.1,
+        cost_sensitive: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_features, n_classes)
+        if learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        self._learning_rate = learning_rate
+        self._cost_sensitive = cost_sensitive
+        self._seed = seed
+        self._init_state()
+
+    def _init_state(self) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._weights = rng.normal(0.0, 0.01, size=(self._n_classes, self._n_features))
+        self._bias = np.zeros(self._n_classes)
+        self._count = 0
+        self._mean = np.zeros(self._n_features)
+        self._m2 = np.zeros(self._n_features)
+        self._class_counts = np.zeros(self._n_classes, dtype=np.float64)
+
+    def reset(self) -> None:
+        self._init_state()
+
+    @property
+    def class_counts(self) -> np.ndarray:
+        return self._class_counts.copy()
+
+    def _standardise(self, x: np.ndarray, update: bool) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if update:
+            self._count += 1
+            delta = x - self._mean
+            self._mean += delta / self._count
+            self._m2 += delta * (x - self._mean)
+        if self._count < 2:
+            return x - self._mean
+        std = np.sqrt(self._m2 / self._count)
+        std = np.where(std > 1e-9, std, 1.0)
+        return (x - self._mean) / std
+
+    def _class_weight(self, y: int) -> float:
+        if not self._cost_sensitive:
+            return 1.0
+        total = self._class_counts.sum()
+        if total <= 0.0 or self._class_counts[y] <= 0.0:
+            return 1.0
+        frequency = self._class_counts[y] / total
+        # Inverse relative frequency, capped to keep updates numerically sane.
+        return float(min(1.0 / (self._n_classes * frequency), 100.0))
+
+    def partial_fit(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        y = int(y)
+        standardised = self._standardise(x, update=True)
+        self._class_counts[y] += 1.0
+        scores = self._weights @ standardised + self._bias
+        probabilities = _softmax(scores)
+        target = np.zeros(self._n_classes)
+        target[y] = 1.0
+        error = target - probabilities
+        step = self._learning_rate * weight * self._class_weight(y)
+        self._weights += step * np.outer(error, standardised)
+        self._bias += step * error
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        standardised = self._standardise(x, update=False)
+        scores = self._weights @ standardised + self._bias
+        return _softmax(scores)

@@ -1,0 +1,41 @@
+"""RBM-IM: the paper's core contribution.
+
+A skew-insensitive Restricted Boltzmann Machine (:class:`SkewInsensitiveRBM`)
+with a class layer and class-balanced loss is trained online on mini-batches.
+Per-class reconstruction errors, their ADWIN-windowed trends, and a
+first-difference Granger causality test combine into the :class:`RBMIM`
+drift detector capable of detecting global *and* local (per-class) drifts in
+multi-class imbalanced data streams.
+"""
+
+from repro.core.detector import RBMIM, RBMIMConfig
+from repro.core.granger import GrangerResult, first_differences, granger_causality
+from repro.core.loss import (
+    ClassBalancedWeighter,
+    class_balanced_weights,
+    effective_number,
+)
+from repro.core.rbm import RBMConfig, SkewInsensitiveRBM
+from repro.core.reconstruction import (
+    instance_reconstruction_errors,
+    per_class_reconstruction_error,
+)
+from repro.core.scaling import OnlineMinMaxScaler
+from repro.core.trend import TrendTracker
+
+__all__ = [
+    "RBMIM",
+    "RBMIMConfig",
+    "RBMConfig",
+    "SkewInsensitiveRBM",
+    "GrangerResult",
+    "granger_causality",
+    "first_differences",
+    "ClassBalancedWeighter",
+    "class_balanced_weights",
+    "effective_number",
+    "instance_reconstruction_errors",
+    "per_class_reconstruction_error",
+    "OnlineMinMaxScaler",
+    "TrendTracker",
+]

@@ -1,0 +1,268 @@
+"""Skew-insensitive Restricted Boltzmann Machine with a class layer.
+
+Implements the neural architecture of Section V-A of the paper: a visible
+layer ``v`` (features scaled to [0, 1]), a hidden layer ``h``, and a class
+("softmax") layer ``z``.  Training uses Contrastive Divergence with ``k``
+Gibbs steps on mini-batches (Eqs. 15-21) and the class-balanced loss weighting
+of Eq. 13 via :class:`repro.core.loss.ClassBalancedWeighter`, which makes the
+learned representation robust to multi-class imbalance.
+
+The network is deliberately self-contained (pure NumPy) so the whole drift
+detector has no dependencies beyond the scientific Python stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loss import ClassBalancedWeighter
+
+__all__ = ["RBMConfig", "SkewInsensitiveRBM"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class RBMConfig:
+    """Hyper-parameters of the skew-insensitive RBM (Table II, last block).
+
+    Attributes
+    ----------
+    n_visible:
+        Number of visible neurons ``V`` (= number of features).
+    n_hidden:
+        Number of hidden neurons ``H`` (the paper tunes it as a fraction of
+        ``V``: 0.25V .. V).
+    n_classes:
+        Number of class neurons ``Z``.
+    learning_rate:
+        Gradient step ``eta`` of Eqs. 17-21.
+    cd_steps:
+        Number of Gibbs sampling steps ``k`` of CD-k.
+    momentum:
+        Classic momentum applied to all parameter updates.
+    weight_decay:
+        L2 penalty applied to the connection weights.
+    balance_beta:
+        ``beta`` of the class-balanced loss (effective number of samples).
+    balance_decay:
+        Forgetting factor of the running class counts used by the loss.
+    seed:
+        RNG seed for weight initialisation and Gibbs sampling.
+    """
+
+    n_visible: int
+    n_hidden: int
+    n_classes: int
+    learning_rate: float = 0.05
+    cd_steps: int = 1
+    momentum: float = 0.5
+    weight_decay: float = 1e-4
+    balance_beta: float = 0.999
+    balance_decay: float = 0.999
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_visible < 1 or self.n_hidden < 1:
+            raise ValueError("layer sizes must be positive")
+        if self.n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if self.learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        if self.cd_steps < 1:
+            raise ValueError("cd_steps must be >= 1")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+
+
+class SkewInsensitiveRBM:
+    """Three-layer (visible / hidden / class) RBM trained with weighted CD-k."""
+
+    def __init__(self, config: RBMConfig) -> None:
+        self._config = config
+        rng = np.random.default_rng(config.seed)
+        scale = 0.01
+        self._rng = rng
+        # Connection weights: W (V x H) between v and h, U (H x Z) between h and z.
+        self._W = rng.normal(0.0, scale, size=(config.n_visible, config.n_hidden))
+        self._U = rng.normal(0.0, scale, size=(config.n_hidden, config.n_classes))
+        self._a = np.zeros(config.n_visible)  # visible biases
+        self._b = np.zeros(config.n_hidden)  # hidden biases
+        self._c = np.zeros(config.n_classes)  # class biases
+        self._vel_W = np.zeros_like(self._W)
+        self._vel_U = np.zeros_like(self._U)
+        self._vel_a = np.zeros_like(self._a)
+        self._vel_b = np.zeros_like(self._b)
+        self._vel_c = np.zeros_like(self._c)
+        self._weighter = ClassBalancedWeighter(
+            config.n_classes, beta=config.balance_beta, decay=config.balance_decay
+        )
+        self._n_batches_trained = 0
+
+    # ---------------------------------------------------------------- state
+    @property
+    def config(self) -> RBMConfig:
+        return self._config
+
+    @property
+    def n_batches_trained(self) -> int:
+        return self._n_batches_trained
+
+    @property
+    def class_counts(self) -> np.ndarray:
+        """Running class counts used by the class-balanced loss."""
+        return self._weighter.counts
+
+    @property
+    def weights(self) -> dict[str, np.ndarray]:
+        """Copies of all parameters (for inspection / serialisation)."""
+        return {
+            "W": self._W.copy(),
+            "U": self._U.copy(),
+            "a": self._a.copy(),
+            "b": self._b.copy(),
+            "c": self._c.copy(),
+        }
+
+    # -------------------------------------------------------- conditionals
+    def hidden_probabilities(self, v: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """``P(h_j = 1 | v, z)`` — Eq. 10."""
+        return _sigmoid(self._b + v @ self._W + z @ self._U.T)
+
+    def visible_probabilities(self, h: np.ndarray) -> np.ndarray:
+        """``P(v_i = 1 | h)`` — Eq. 11."""
+        return _sigmoid(self._a + h @ self._W.T)
+
+    def class_probabilities(self, h: np.ndarray) -> np.ndarray:
+        """``P(z = 1_k | h)`` — softmax class layer, Eq. 12."""
+        return _softmax(self._c + h @ self._U)
+
+    def energy(self, v: np.ndarray, h: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Energy function of Eq. 8 evaluated per row of the batch."""
+        v = np.atleast_2d(v)
+        h = np.atleast_2d(h)
+        z = np.atleast_2d(z)
+        linear = -(v @ self._a) - (h @ self._b) - (z @ self._c)
+        pairwise = -np.einsum("ni,ij,nj->n", v, self._W, h) - np.einsum(
+            "nj,jk,nk->n", h, self._U, z
+        )
+        return linear + pairwise
+
+    def _one_hot(self, labels: np.ndarray) -> np.ndarray:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.min() < 0 or labels.max() >= self._config.n_classes:
+            raise ValueError("label out of range")
+        encoded = np.zeros((labels.shape[0], self._config.n_classes))
+        encoded[np.arange(labels.shape[0]), labels] = 1.0
+        return encoded
+
+    # ------------------------------------------------------------ training
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Run one weighted CD-k update on a mini-batch.
+
+        Parameters
+        ----------
+        X:
+            Mini-batch of feature rows already scaled to [0, 1].
+        y:
+            Integer labels of the mini-batch.
+
+        Returns
+        -------
+        float
+            Mean (unweighted) reconstruction MSE of the batch, useful as a
+            cheap training-progress signal.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on batch size")
+        if X.shape[1] != self._config.n_visible:
+            raise ValueError(
+                f"expected {self._config.n_visible} features, got {X.shape[1]}"
+            )
+        cfg = self._config
+        self._weighter.observe(y)
+        sample_weights = self._weighter.instance_weights(y)[:, None]
+
+        v0 = X
+        z0 = self._one_hot(y)
+        h0_prob = self.hidden_probabilities(v0, z0)
+
+        # Gibbs chain (CD-k).
+        h_sample = (self._rng.random(h0_prob.shape) < h0_prob).astype(np.float64)
+        vk_prob = v0
+        zk_prob = z0
+        hk_prob = h0_prob
+        for _ in range(cfg.cd_steps):
+            vk_prob = self.visible_probabilities(h_sample)
+            zk_prob = self.class_probabilities(h_sample)
+            hk_prob = self.hidden_probabilities(vk_prob, zk_prob)
+            h_sample = (self._rng.random(hk_prob.shape) < hk_prob).astype(np.float64)
+
+        batch_size = X.shape[0]
+        weighted_v0 = v0 * sample_weights
+        weighted_vk = vk_prob * sample_weights
+        weighted_h0 = h0_prob * sample_weights
+        weighted_hk = hk_prob * sample_weights
+
+        grad_W = (weighted_v0.T @ h0_prob - weighted_vk.T @ hk_prob) / batch_size
+        grad_U = (weighted_h0.T @ z0 - weighted_hk.T @ zk_prob) / batch_size
+        grad_a = (weighted_v0 - weighted_vk).mean(axis=0)
+        grad_b = (weighted_h0 - weighted_hk).mean(axis=0)
+        grad_c = ((z0 - zk_prob) * sample_weights).mean(axis=0)
+
+        lr = cfg.learning_rate
+        mom = cfg.momentum
+        decay = cfg.weight_decay
+        self._vel_W = mom * self._vel_W + lr * (grad_W - decay * self._W)
+        self._vel_U = mom * self._vel_U + lr * (grad_U - decay * self._U)
+        self._vel_a = mom * self._vel_a + lr * grad_a
+        self._vel_b = mom * self._vel_b + lr * grad_b
+        self._vel_c = mom * self._vel_c + lr * grad_c
+        self._W += self._vel_W
+        self._U += self._vel_U
+        self._a += self._vel_a
+        self._b += self._vel_b
+        self._c += self._vel_c
+
+        self._n_batches_trained += 1
+        return float(np.mean((v0 - vk_prob) ** 2))
+
+    # ----------------------------------------------------------- inference
+    def reconstruct(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct features and class scores for a labelled batch.
+
+        Implements Eqs. 22-25: the hidden layer is derived from the observed
+        instance (``v = x``, ``z = one_hot(y)``), then features and class
+        support are reconstructed from the hidden probabilities.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.int64)
+        z = self._one_hot(y)
+        h = self.hidden_probabilities(X, z)
+        x_recon = self.visible_probabilities(h)
+        z_recon = self.class_probabilities(h)
+        return x_recon, z_recon
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates using a free (unclamped) class layer."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        # With no class information, use the uniform class prior as input.
+        z_uniform = np.full((X.shape[0], self._config.n_classes), 1.0 / self._config.n_classes)
+        h = self.hidden_probabilities(X, z_uniform)
+        return self.class_probabilities(h)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class for each row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,79 @@
+"""Online feature scaling for the RBM visible layer.
+
+Restricted Boltzmann Machines expect visible units in [0, 1].  Streaming data
+arrives unscaled and its range may itself drift, so the scaler tracks running
+minima and maxima (optionally with slow decay towards the recent data range)
+and maps features into the unit interval on the fly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OnlineMinMaxScaler"]
+
+
+class OnlineMinMaxScaler:
+    """Streaming min-max scaler to the unit interval.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality of the feature vectors.
+    forget:
+        Per-update shrink factor pulling the tracked range towards the most
+        recent batch (0 = never forget the historical range).  A small value
+        such as 0.001 lets the scaler follow virtual drifts of the feature
+        distribution without destabilising the representation.
+    """
+
+    def __init__(self, n_features: int, forget: float = 0.0) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if not 0.0 <= forget < 1.0:
+            raise ValueError("forget must be in [0, 1)")
+        self._n_features = n_features
+        self._forget = forget
+        self._min = np.full(n_features, np.inf)
+        self._max = np.full(n_features, -np.inf)
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def data_range(self) -> tuple[np.ndarray, np.ndarray]:
+        """Currently tracked (min, max) per feature."""
+        return self._min.copy(), self._max.copy()
+
+    def partial_fit(self, X: np.ndarray) -> "OnlineMinMaxScaler":
+        """Update the tracked range with a batch of rows."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        batch_min = X.min(axis=0)
+        batch_max = X.max(axis=0)
+        if self._fitted and self._forget > 0.0:
+            centre = (self._min + self._max) / 2.0
+            self._min += self._forget * (centre - self._min)
+            self._max += self._forget * (centre - self._max)
+        self._min = np.minimum(self._min, batch_min)
+        self._max = np.maximum(self._max, batch_max)
+        self._fitted = True
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale a batch of rows into [0, 1] (clipping out-of-range values)."""
+        if not self._fitted:
+            raise RuntimeError("scaler must be fitted before transform")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        span = self._max - self._min
+        span = np.where(span > 1e-12, span, 1.0)
+        scaled = (X - self._min) / span
+        return np.clip(scaled, 0.0, 1.0)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.partial_fit(X).transform(X)

@@ -1,0 +1,112 @@
+"""Sliding-window trend of the reconstruction error (Eqs. 28-37).
+
+The evolution of each class's reconstruction error over arriving mini-batches
+is summarised by the slope of a simple linear regression computed over a
+sliding window.  The paper maintains the regression terms incrementally
+(Eqs. 29-36) and sizes the window adaptively with ADWIN instead of a manual
+constant (Eq. 37 handles the ``t > W`` case).  :class:`TrendTracker`
+implements exactly this bookkeeping for a single monitored series; RBM-IM
+instantiates one tracker per class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.detectors.adwin import ADWIN
+
+__all__ = ["TrendTracker"]
+
+
+class TrendTracker:
+    """Incremental sliding-window linear-regression slope with adaptive width.
+
+    Parameters
+    ----------
+    adwin_delta:
+        Confidence parameter of the internal ADWIN instance that adapts the
+        window length to the monitored signal.
+    max_window:
+        Hard cap on the window length (keeps memory bounded even when ADWIN
+        grows its window on long stable streams).
+    min_window:
+        Smallest window used for slope estimation.
+    """
+
+    def __init__(
+        self,
+        adwin_delta: float = 0.002,
+        max_window: int = 200,
+        min_window: int = 4,
+    ) -> None:
+        if min_window < 2:
+            raise ValueError("min_window must be >= 2")
+        if max_window < min_window:
+            raise ValueError("max_window must be >= min_window")
+        self._adwin = ADWIN(delta=adwin_delta)
+        self._max_window = max_window
+        self._min_window = min_window
+        self._history: deque[tuple[int, float]] = deque(maxlen=max_window)
+        self._time = 0
+        self._trend_history: deque[float] = deque(maxlen=max_window)
+
+    # --------------------------------------------------------------- state
+    @property
+    def window_size(self) -> int:
+        """Current adaptive window size ``W`` (bounded by ``max_window``)."""
+        width = self._adwin.width
+        return int(min(max(width, self._min_window), self._max_window))
+
+    @property
+    def n_updates(self) -> int:
+        return self._time
+
+    @property
+    def trend_history(self) -> list[float]:
+        """Trend (slope) values produced so far, most recent last."""
+        return list(self._trend_history)
+
+    @property
+    def value_history(self) -> list[float]:
+        """Monitored values currently inside the (max) window."""
+        return [value for _, value in self._history]
+
+    def reset(self) -> None:
+        self._adwin.reset()
+        self._history.clear()
+        self._trend_history.clear()
+        self._time = 0
+
+    # -------------------------------------------------------------- update
+    def update(self, value: float) -> float:
+        """Consume one monitored value and return the current trend slope.
+
+        Implements Eq. 28 with the incremental sums of Eqs. 29-36 evaluated
+        over the adaptive window: the slope of the least-squares line fitted
+        to ``(t, value)`` pairs inside the window.  Returns 0.0 until at least
+        ``min_window`` values have been observed.
+        """
+        self._time += 1
+        self._adwin.add_element(float(value))
+        self._history.append((self._time, float(value)))
+
+        window = self.window_size
+        recent = list(self._history)[-window:]
+        slope = self._slope(recent)
+        self._trend_history.append(slope)
+        return slope
+
+    @staticmethod
+    def _slope(points: list[tuple[int, float]]) -> float:
+        """Least-squares slope ``Qr`` of Eq. 28 over the retained points."""
+        n = len(points)
+        if n < 2:
+            return 0.0
+        sum_t = sum(t for t, _ in points)
+        sum_r = sum(r for _, r in points)
+        sum_tr = sum(t * r for t, r in points)
+        sum_t2 = sum(t * t for t, _ in points)
+        denominator = n * sum_t2 - sum_t * sum_t
+        if abs(denominator) < 1e-12:
+            return 0.0
+        return (n * sum_tr - sum_t * sum_r) / denominator

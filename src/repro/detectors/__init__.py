@@ -1,0 +1,44 @@
+"""Concept drift detectors: standard, imbalance-aware, and the RBM-IM core.
+
+The standard detectors monitor the classifier's error stream (DDM, EDDM,
+RDDM, ADWIN, HDDM_A, HDDM_W, FHDDM, WSTD, Page-Hinkley, ECDD); the
+imbalance-aware baselines monitor per-class performance (PerfSim, DDM-OCI).
+The paper's contribution, RBM-IM, lives in :mod:`repro.core`.
+"""
+
+from repro.detectors.adwin import ADWIN
+from repro.detectors.base import (
+    ClassConditionalDetector,
+    DriftDetector,
+    ErrorRateDetector,
+    InstanceDetector,
+)
+from repro.detectors.ddm import DDM
+from repro.detectors.ddm_oci import DDM_OCI
+from repro.detectors.eddm import EDDM
+from repro.detectors.ewma import ECDDWT
+from repro.detectors.fhddm import FHDDM
+from repro.detectors.hddm import HDDM_A, HDDM_W
+from repro.detectors.page_hinkley import PageHinkley
+from repro.detectors.perfsim import PerfSim
+from repro.detectors.rddm import RDDM
+from repro.detectors.wstd import WSTD
+
+__all__ = [
+    "DriftDetector",
+    "ErrorRateDetector",
+    "ClassConditionalDetector",
+    "InstanceDetector",
+    "ADWIN",
+    "DDM",
+    "DDM_OCI",
+    "EDDM",
+    "ECDDWT",
+    "FHDDM",
+    "HDDM_A",
+    "HDDM_W",
+    "PageHinkley",
+    "PerfSim",
+    "RDDM",
+    "WSTD",
+]

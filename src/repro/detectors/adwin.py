@@ -1,0 +1,210 @@
+"""ADWIN — ADaptive WINdowing (Bifet & Gavalda, 2007).
+
+ADWIN maintains a variable-length window of recent real values, stored in an
+exponential histogram of buckets.  Whenever the means of two sub-windows
+differ by more than a bound derived from the Hoeffding inequality, the older
+sub-window is dropped and a change is signalled.  Besides being one of the
+reference detectors, ADWIN provides the *self-adaptive window size* used by
+RBM-IM's trend estimation (Eq. 28-37 of the paper), exposed through
+:attr:`ADWIN.width`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.detectors.base import ErrorRateDetector
+
+__all__ = ["ADWIN"]
+
+_MAX_BUCKETS_PER_ROW = 5
+
+
+class _BucketRow:
+    """A row of buckets, all holding ``2**level`` elements each."""
+
+    __slots__ = ("totals", "variances")
+
+    def __init__(self) -> None:
+        self.totals: deque[float] = deque()
+        self.variances: deque[float] = deque()
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    def append(self, total: float, variance: float) -> None:
+        self.totals.append(total)
+        self.variances.append(variance)
+
+    def pop_oldest(self) -> tuple[float, float]:
+        return self.totals.popleft(), self.variances.popleft()
+
+
+class ADWIN(ErrorRateDetector):
+    """Adaptive sliding-window change detector over a real-valued signal.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter of the Hoeffding-style cut test (smaller values
+        make the detector more conservative).
+    min_window_length:
+        Minimum sub-window length considered when looking for a cut.
+    clock:
+        Number of observations between cut checks (1 = check every instance).
+    """
+
+    def __init__(
+        self, delta: float = 0.002, min_window_length: int = 5, clock: int = 32
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if min_window_length < 1:
+            raise ValueError("min_window_length must be >= 1")
+        if clock < 1:
+            raise ValueError("clock must be >= 1")
+        self._delta = delta
+        self._min_window_length = min_window_length
+        self._clock = clock
+        self._init_buckets()
+
+    def _init_buckets(self) -> None:
+        self._rows: list[_BucketRow] = [_BucketRow()]
+        self._total = 0.0
+        self._variance = 0.0
+        self._width = 0
+        self._tick = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._init_buckets()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def width(self) -> int:
+        """Current adaptive window length."""
+        return self._width
+
+    @property
+    def estimation(self) -> float:
+        """Mean of the values currently inside the window."""
+        if self._width == 0:
+            return 0.0
+        return self._total / self._width
+
+    @property
+    def variance(self) -> float:
+        """Variance of the values currently inside the window."""
+        if self._width == 0:
+            return 0.0
+        return self._variance / self._width
+
+    # -------------------------------------------------------------- updates
+    def add_element(self, value: float) -> None:
+        self._insert(value)
+        self._tick += 1
+        if self._tick % self._clock == 0 and self._width > self._min_window_length:
+            if self._detect_cut():
+                self._in_drift = True
+
+    def _insert(self, value: float) -> None:
+        if self._width > 0:
+            mean = self._total / self._width
+            incremental_variance = (
+                (self._width / (self._width + 1.0)) * (value - mean) * (value - mean)
+            )
+        else:
+            incremental_variance = 0.0
+        self._width += 1
+        self._total += value
+        self._variance += incremental_variance
+        self._rows[0].append(value, 0.0)
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._rows):
+            row = self._rows[level]
+            if len(row) <= _MAX_BUCKETS_PER_ROW:
+                break
+            if level + 1 == len(self._rows):
+                self._rows.append(_BucketRow())
+            total_1, variance_1 = row.pop_oldest()
+            total_2, variance_2 = row.pop_oldest()
+            n = float(2**level)
+            mean_1, mean_2 = total_1 / n, total_2 / n
+            merged_variance = (
+                variance_1
+                + variance_2
+                + n * n / (2.0 * n) * (mean_1 - mean_2) * (mean_1 - mean_2)
+            )
+            self._rows[level + 1].append(total_1 + total_2, merged_variance)
+            level += 1
+
+    def _iter_buckets_oldest_first(self):
+        for level in range(len(self._rows) - 1, -1, -1):
+            row = self._rows[level]
+            size = float(2**level)
+            for total, variance in zip(row.totals, row.variances):
+                yield size, total, variance
+
+    def _detect_cut(self) -> bool:
+        """Look for a split point where the two sub-window means differ."""
+        change_found = False
+        keep_looking = True
+        while keep_looking:
+            keep_looking = False
+            n0 = 0.0
+            sum0 = 0.0
+            n1 = float(self._width)
+            sum1 = self._total
+            buckets = list(self._iter_buckets_oldest_first())
+            for size, total, _variance in buckets[:-1]:
+                n0 += size
+                sum0 += total
+                n1 -= size
+                sum1 -= total
+                if n0 < self._min_window_length or n1 < self._min_window_length:
+                    continue
+                mean0 = sum0 / n0
+                mean1 = sum1 / n1
+                if self._cut_expression(n0, n1, mean0, mean1):
+                    change_found = True
+                    keep_looking = True
+                    self._drop_oldest_bucket()
+                    break
+        return change_found
+
+    def _cut_expression(
+        self, n0: float, n1: float, mean0: float, mean1: float
+    ) -> bool:
+        n = float(self._width)
+        harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+        delta_prime = self._delta / math.log(max(n, math.e))
+        variance = self.variance
+        epsilon = math.sqrt(
+            (2.0 / harmonic) * variance * math.log(2.0 / delta_prime)
+        ) + (2.0 / (3.0 * harmonic)) * math.log(2.0 / delta_prime)
+        return abs(mean0 - mean1) > epsilon
+
+    def _drop_oldest_bucket(self) -> None:
+        level = len(self._rows) - 1
+        while level >= 0 and len(self._rows[level]) == 0:
+            level -= 1
+        if level < 0:
+            return
+        size = float(2**level)
+        total, variance = self._rows[level].pop_oldest()
+        if self._width > size:
+            mean = total / size
+            overall_mean = self._total / self._width
+            self._variance -= variance + size * (self._width - size) / self._width * (
+                mean - overall_mean
+            ) * (mean - overall_mean)
+            self._variance = max(self._variance, 0.0)
+        self._width -= int(size)
+        self._total -= total
+        if self._width <= 0:
+            self._init_buckets()

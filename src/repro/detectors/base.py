@@ -1,0 +1,169 @@
+"""Common interface for all concept-drift detectors.
+
+The paper compares detectors that consume very different signals: standard
+detectors monitor the classifier's error stream, imbalance-aware detectors
+monitor per-class performance, and RBM-IM consumes raw instances.  To let the
+prequential harness treat them uniformly, every detector implements
+:meth:`DriftDetector.step`, which receives the feature vector, the true label,
+and the classifier's prediction; each family overrides the level it needs.
+
+Detector state after each step is exposed through :attr:`in_warning`,
+:attr:`in_drift`, and (for class-aware detectors) :attr:`drifted_classes`.
+Detections are also logged with their positions for delay/false-alarm
+analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "DriftDetector",
+    "ErrorRateDetector",
+    "ClassConditionalDetector",
+    "InstanceDetector",
+]
+
+
+class DriftDetector(abc.ABC):
+    """Base class for concept drift detectors.
+
+    Subclasses set ``self._in_drift`` / ``self._in_warning`` during
+    :meth:`step`; the base class maintains detection bookkeeping (positions of
+    signalled drifts, total number of observations).
+    """
+
+    def __init__(self) -> None:
+        self._in_drift = False
+        self._in_warning = False
+        self._n_observations = 0
+        self._detections: list[int] = []
+        self._drifted_classes: set[int] | None = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def in_drift(self) -> bool:
+        """True if the most recent step signalled a drift."""
+        return self._in_drift
+
+    @property
+    def in_warning(self) -> bool:
+        """True if the most recent step signalled a warning."""
+        return self._in_warning
+
+    @property
+    def drifted_classes(self) -> set[int] | None:
+        """Classes the latest drift is attributed to (None = global/unknown)."""
+        return self._drifted_classes
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations consumed since the last reset."""
+        return self._n_observations
+
+    @property
+    def detections(self) -> list[int]:
+        """Observation indices (1-based) at which drifts were signalled."""
+        return list(self._detections)
+
+    def reset(self) -> None:
+        """Reset all detector state (called after drift-triggered rebuilds)."""
+        self._in_drift = False
+        self._in_warning = False
+        self._n_observations = 0
+        self._detections = []
+        self._drifted_classes = None
+
+    def warm_start(self, X, y) -> None:
+        """Optional initial training on the first batch of the stream.
+
+        Most detectors are stateless with respect to raw data and ignore the
+        warm-up batch; trainable detectors (e.g. RBM-IM) override this.
+        """
+
+    # ----------------------------------------------------------- lifecycle
+    def step(self, x: np.ndarray, y_true: int, y_pred: int) -> bool:
+        """Consume one labelled prediction and return ``in_drift``."""
+        self._n_observations += 1
+        self._in_drift = False
+        self._in_warning = False
+        self._drifted_classes = None
+        self._update(x, y_true, y_pred)
+        if self._in_drift:
+            self._detections.append(self._n_observations)
+        return self._in_drift
+
+    @abc.abstractmethod
+    def _update(self, x: np.ndarray, y_true: int, y_pred: int) -> None:
+        """Detector-specific update; must set ``_in_drift`` / ``_in_warning``."""
+
+
+class ErrorRateDetector(DriftDetector):
+    """Detectors that monitor the binary error stream of the classifier.
+
+    Subclasses implement :meth:`add_element`, receiving 1.0 for a
+    misclassification and 0.0 for a correct prediction (some detectors also
+    accept arbitrary real-valued signals).
+    """
+
+    def _update(self, x: np.ndarray, y_true: int, y_pred: int) -> None:
+        self.add_element(float(y_true != y_pred))
+
+    @abc.abstractmethod
+    def add_element(self, value: float) -> None:
+        """Consume one monitored value (typically the 0/1 error)."""
+
+
+class ClassConditionalDetector(DriftDetector):
+    """Detectors that monitor per-class performance (PerfSim, DDM-OCI, RBM-IM).
+
+    Subclasses implement :meth:`add_result` and may populate
+    ``self._drifted_classes`` with the classes responsible for a detection.
+    """
+
+    def __init__(self, n_classes: int) -> None:
+        super().__init__()
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self._n_classes = n_classes
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    def _update(self, x: np.ndarray, y_true: int, y_pred: int) -> None:
+        self.add_result(y_true, y_pred)
+
+    @abc.abstractmethod
+    def add_result(self, y_true: int, y_pred: int) -> None:
+        """Consume one (true label, predicted label) pair."""
+
+
+class InstanceDetector(DriftDetector):
+    """Detectors that consume raw instances (feature vector + true label)."""
+
+    def __init__(self, n_features: int, n_classes: int) -> None:
+        super().__init__()
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self._n_features = n_features
+        self._n_classes = n_classes
+
+    @property
+    def n_features(self) -> int:
+        return self._n_features
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    def _update(self, x: np.ndarray, y_true: int, y_pred: int) -> None:
+        self.add_instance(np.asarray(x, dtype=np.float64), int(y_true))
+
+    @abc.abstractmethod
+    def add_instance(self, x: np.ndarray, y: int) -> None:
+        """Consume one labelled instance."""

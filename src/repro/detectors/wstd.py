@@ -1,0 +1,89 @@
+"""Wilcoxon rank-sum test drift detector (WSTD), de Barros et al. 2018.
+
+WSTD keeps two sub-windows over the stream of prediction-correctness bits: an
+"old" window of historical behaviour (capped at ``max_old_instances``) and a
+"recent" sliding window of the newest ``window_size`` observations.  The two
+samples are compared with the Wilcoxon rank-sum (Mann-Whitney U) test; a
+p-value below the warning/drift significance levels raises the corresponding
+state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from scipy import stats
+
+from repro.detectors.base import ErrorRateDetector
+
+__all__ = ["WSTD"]
+
+
+class WSTD(ErrorRateDetector):
+    """Wilcoxon rank-sum test drift detection.
+
+    Parameters
+    ----------
+    window_size:
+        Length of the recent sliding window (25-100 in the paper's grid).
+    warning_significance, drift_significance:
+        p-value thresholds for the warning and drift states.
+    max_old_instances:
+        Maximum number of historical observations retained for the "old"
+        sample (1000-4000 in the paper's grid).
+    min_instances:
+        Observations required before testing begins.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 75,
+        warning_significance: float = 0.05,
+        drift_significance: float = 0.003,
+        max_old_instances: int = 2_000,
+        min_instances: int = 150,
+    ) -> None:
+        super().__init__()
+        if window_size < 5:
+            raise ValueError("window_size must be >= 5")
+        if not 0.0 < drift_significance <= warning_significance < 1.0:
+            raise ValueError("require 0 < drift_significance <= warning_significance < 1")
+        self._window_size = window_size
+        self._warning_significance = warning_significance
+        self._drift_significance = drift_significance
+        self._max_old_instances = max_old_instances
+        self._min_instances = max(min_instances, 2 * window_size)
+        self._reset_concept()
+
+    def _reset_concept(self) -> None:
+        self._recent: deque[float] = deque(maxlen=self._window_size)
+        self._old: deque[float] = deque(maxlen=self._max_old_instances)
+        self._count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._reset_concept()
+
+    def add_element(self, value: float) -> None:
+        correct = 0.0 if value > 0.5 else 1.0
+        self._count += 1
+        if len(self._recent) == self._window_size:
+            self._old.append(self._recent[0])
+        self._recent.append(correct)
+
+        if self._count < self._min_instances or len(self._old) < self._window_size:
+            return
+
+        old = np.fromiter(self._old, dtype=np.float64)
+        recent = np.fromiter(self._recent, dtype=np.float64)
+        if np.allclose(old, old[0]) and np.allclose(recent, old[0]):
+            return  # identical constant samples: no evidence of change
+        _stat, p_value = stats.mannwhitneyu(
+            old, recent, alternative="two-sided", method="asymptotic"
+        )
+        if p_value < self._drift_significance:
+            self._in_drift = True
+            self._reset_concept()
+        elif p_value < self._warning_significance:
+            self._in_warning = True

@@ -1,0 +1,250 @@
+"""Prequential (test-then-train) evaluation harness.
+
+Reproduces the paper's experimental protocol: every instance is first used to
+test the classifier (updating the windowed pmAUC / pmGM metrics), then handed
+to the drift detector, and finally used to train the classifier.  When the
+detector signals a drift the classifier is rebuilt and re-initialised from a
+short buffer of the most recent instances (the usual warning-window protocol).
+The runner also records where the detector fired, per-component timings, and
+the drift-detection report against the stream's ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.classifiers.base import StreamClassifier
+from repro.detectors.base import DriftDetector
+from repro.metrics.drift_eval import DriftDetectionReport, evaluate_detections
+from repro.metrics.prequential import MetricSnapshot, PrequentialEvaluator
+from repro.streams.base import DataStream, Instance
+from repro.streams.scenarios import ScenarioStream
+
+__all__ = ["RunResult", "PrequentialRunner"]
+
+ClassifierFactory = Callable[[int, int], StreamClassifier]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one prequential run of (stream, classifier, detector).
+
+    Attributes
+    ----------
+    pmauc, pmgm:
+        Mean windowed pmAUC / pmG-mean over the run (Table III values).
+    accuracy, kappa:
+        Final windowed accuracy and Cohen's kappa.
+    detections:
+        Stream positions at which the detector signalled drifts.
+    detected_classes:
+        For each detection, the classes blamed by the detector (empty set for
+        global/unattributed detections).
+    drift_report:
+        Match of detections against the stream's ground-truth drift points
+        (``None`` when the stream has no ground truth).
+    detector_time, classifier_time:
+        Total seconds spent inside the detector and the classifier.
+    n_instances:
+        Number of instances processed.
+    snapshots:
+        Periodic metric snapshots along the stream.
+    """
+
+    stream_name: str
+    detector_name: str
+    pmauc: float
+    pmgm: float
+    accuracy: float
+    kappa: float
+    detections: list[int]
+    detected_classes: list[set[int]]
+    drift_report: DriftDetectionReport | None
+    detector_time: float
+    classifier_time: float
+    n_instances: int
+    snapshots: list[MetricSnapshot] = field(default_factory=list)
+
+
+class PrequentialRunner:
+    """Test-then-train evaluation loop with detector-triggered resets.
+
+    Parameters
+    ----------
+    classifier_factory:
+        Callable ``(n_features, n_classes) -> StreamClassifier`` used to build
+        (and rebuild after drifts) the base classifier.
+    window_size:
+        Sliding-window length of the prequential metrics (1000 in the paper).
+    pretrain_size:
+        Number of initial instances used purely for training (and detector
+        warm-up) before evaluation starts.
+    rebuild_buffer:
+        Number of most recent instances replayed into a freshly built
+        classifier after a drift-triggered reset.
+    snapshot_every:
+        Spacing of metric snapshots.
+    """
+
+    def __init__(
+        self,
+        classifier_factory: ClassifierFactory,
+        window_size: int = 1000,
+        pretrain_size: int = 200,
+        rebuild_buffer: int = 200,
+        snapshot_every: int = 500,
+    ) -> None:
+        if pretrain_size < 0 or rebuild_buffer < 0:
+            raise ValueError("pretrain_size and rebuild_buffer must be >= 0")
+        self._classifier_factory = classifier_factory
+        self._window_size = window_size
+        self._pretrain_size = pretrain_size
+        self._rebuild_buffer = rebuild_buffer
+        self._snapshot_every = snapshot_every
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self,
+        stream: DataStream | ScenarioStream,
+        detector: DriftDetector | None,
+        n_instances: int | None = None,
+        detector_name: str | None = None,
+        drift_tolerance: int = 2_000,
+    ) -> RunResult:
+        """Evaluate one detector on one stream.
+
+        Parameters
+        ----------
+        stream:
+            A raw :class:`DataStream` or a :class:`ScenarioStream` (which also
+            carries ground-truth drift points and a recommended length).
+        detector:
+            The drift detector under test, or ``None`` for a detector-less
+            baseline (classifier never reset).
+        n_instances:
+            Number of instances to process; defaults to the scenario's
+            recommended length or 10 000.
+        """
+        scenario: ScenarioStream | None = None
+        if isinstance(stream, ScenarioStream):
+            scenario = stream
+            data_stream = scenario.stream
+            if n_instances is None:
+                n_instances = scenario.n_instances
+            stream_name = scenario.name
+        else:
+            data_stream = stream
+            stream_name = data_stream.name
+        if n_instances is None:
+            n_instances = 10_000
+
+        n_features = data_stream.n_features
+        n_classes = data_stream.n_classes
+        classifier = self._classifier_factory(n_features, n_classes)
+        evaluator = PrequentialEvaluator(
+            n_classes=n_classes,
+            window_size=self._window_size,
+            snapshot_every=self._snapshot_every,
+        )
+        replay: deque[Instance] = deque(maxlen=max(self._rebuild_buffer, 1))
+        detections: list[int] = []
+        detected_classes: list[set[int]] = []
+        detector_time = 0.0
+        classifier_time = 0.0
+
+        instances = self._iterate(data_stream, n_instances)
+        warm_x: list[np.ndarray] = []
+        warm_y: list[int] = []
+
+        for position, instance in enumerate(instances):
+            x, y_true = instance.x, instance.y
+            replay.append(instance)
+
+            if position < self._pretrain_size:
+                start = time.perf_counter()
+                classifier.partial_fit(x, y_true)
+                classifier_time += time.perf_counter() - start
+                warm_x.append(x)
+                warm_y.append(y_true)
+                continue
+            if position == self._pretrain_size and detector is not None and warm_x:
+                start = time.perf_counter()
+                detector.warm_start(np.vstack(warm_x), np.asarray(warm_y))
+                detector_time += time.perf_counter() - start
+
+            # ---- test
+            start = time.perf_counter()
+            scores = classifier.predict_proba(x)
+            y_pred = int(np.argmax(scores))
+            classifier_time += time.perf_counter() - start
+            evaluator.update(scores, y_true, y_pred)
+
+            # ---- detect
+            if detector is not None:
+                start = time.perf_counter()
+                drifted = detector.step(x, y_true, y_pred)
+                detector_time += time.perf_counter() - start
+                if drifted:
+                    detections.append(position)
+                    detected_classes.append(set(detector.drifted_classes or set()))
+                    classifier = self._rebuild_classifier(
+                        n_features, n_classes, replay
+                    )
+
+            # ---- train
+            start = time.perf_counter()
+            classifier.partial_fit(x, y_true)
+            classifier_time += time.perf_counter() - start
+
+        drift_report = None
+        if scenario is not None:
+            drift_report = evaluate_detections(
+                scenario.drift_points, detections, tolerance=drift_tolerance
+            )
+
+        return RunResult(
+            stream_name=stream_name,
+            detector_name=detector_name or self._describe(detector),
+            pmauc=evaluator.mean_pmauc(),
+            pmgm=evaluator.mean_pmgm(),
+            accuracy=evaluator.accuracy(),
+            kappa=evaluator.kappa(),
+            detections=detections,
+            detected_classes=detected_classes,
+            drift_report=drift_report,
+            detector_time=detector_time,
+            classifier_time=classifier_time,
+            n_instances=n_instances,
+            snapshots=evaluator.snapshots,
+        )
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _describe(detector: DriftDetector | None) -> str:
+        if detector is None:
+            return "none"
+        return type(detector).__name__
+
+    @staticmethod
+    def _iterate(stream: DataStream, n_instances: int) -> Iterable[Instance]:
+        produced = 0
+        while produced < n_instances:
+            try:
+                yield stream.next_instance()
+            except StopIteration:
+                return
+            produced += 1
+
+    def _rebuild_classifier(
+        self, n_features: int, n_classes: int, replay: deque[Instance]
+    ) -> StreamClassifier:
+        """Build a fresh classifier and replay the recent buffer into it."""
+        classifier = self._classifier_factory(n_features, n_classes)
+        for instance in replay:
+            classifier.partial_fit(instance.x, instance.y)
+        return classifier

@@ -1,0 +1,245 @@
+"""Self hyper-parameter tuning for streaming learners (Veloso et al., 2018).
+
+The paper tunes every drift detector per stream with the Self Parameter Tuning
+approach, an online Nelder-Mead search: a simplex of hyper-parameter vectors
+is evaluated on successive windows of the stream, and reflection / expansion /
+contraction / shrink steps move the simplex towards better-performing
+configurations while the stream is being processed.
+
+:class:`NelderMeadTuner` provides an ask/tell interface so it can be driven by
+any evaluation loop: call :meth:`ask` to obtain the next candidate parameter
+set, evaluate it on the next data window, and report the score with
+:meth:`tell`.  :func:`tune_on_stream` wires the tuner to a stream and an
+evaluation callback for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ParameterSpace", "NelderMeadTuner", "tune_on_stream"]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Continuous (or integer) box constraints for the tuned hyper-parameters.
+
+    Attributes
+    ----------
+    bounds:
+        Mapping ``name -> (low, high)``.
+    integer:
+        Names of parameters that must be rounded to integers when decoded.
+    """
+
+    bounds: Mapping[str, tuple[float, float]]
+    integer: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("bounds must not be empty")
+        for name, (low, high) in self.bounds.items():
+            if high <= low:
+                raise ValueError(f"invalid bounds for {name!r}: ({low}, {high})")
+        unknown = set(self.integer) - set(self.bounds)
+        if unknown:
+            raise ValueError(f"integer parameters not in bounds: {sorted(unknown)}")
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.bounds)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.bounds)
+
+    def clip(self, vector: np.ndarray) -> np.ndarray:
+        lows = np.array([self.bounds[name][0] for name in self.names])
+        highs = np.array([self.bounds[name][1] for name in self.names])
+        return np.clip(vector, lows, highs)
+
+    def decode(self, vector: np.ndarray) -> dict[str, float | int]:
+        """Turn a raw simplex vertex into a parameter dictionary."""
+        vector = self.clip(np.asarray(vector, dtype=np.float64))
+        decoded: dict[str, float | int] = {}
+        for value, name in zip(vector, self.names):
+            decoded[name] = int(round(value)) if name in self.integer else float(value)
+        return decoded
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        lows = np.array([self.bounds[name][0] for name in self.names])
+        highs = np.array([self.bounds[name][1] for name in self.names])
+        return rng.uniform(lows, highs)
+
+
+class NelderMeadTuner:
+    """Online Nelder-Mead simplex search with an ask/tell interface.
+
+    The tuner maximises the reported score.  Internally it keeps the classic
+    simplex of ``d + 1`` vertices; each :meth:`ask` returns the parameter set
+    that currently needs evaluation (initial vertices first, then reflection /
+    expansion / contraction candidates), and :meth:`tell` feeds the observed
+    score back, advancing the simplex state machine.
+    """
+
+    _ALPHA = 1.0  # reflection
+    _GAMMA = 2.0  # expansion
+    _RHO = 0.5  # contraction
+    _SIGMA = 0.5  # shrink
+
+    def __init__(self, space: ParameterSpace, seed: int | None = None) -> None:
+        self._space = space
+        self._rng = np.random.default_rng(seed)
+        dimension = space.dimension
+        self._vertices = [space.random_vector(self._rng) for _ in range(dimension + 1)]
+        self._scores: list[float | None] = [None] * (dimension + 1)
+        self._phase = "init"
+        self._pending_index = 0
+        self._candidate: np.ndarray | None = None
+        self._candidate_kind = ""
+        self._reflection_score = float("-inf")
+        self._n_evaluations = 0
+
+    # ---------------------------------------------------------------- state
+    @property
+    def n_evaluations(self) -> int:
+        return self._n_evaluations
+
+    @property
+    def best_parameters(self) -> dict[str, float | int]:
+        """Best parameter set found so far (undefined before any tell)."""
+        scored = [
+            (score, vertex)
+            for score, vertex in zip(self._scores, self._vertices)
+            if score is not None
+        ]
+        if not scored:
+            return self._space.decode(self._vertices[0])
+        best_score, best_vertex = max(scored, key=lambda item: item[0])
+        return self._space.decode(best_vertex)
+
+    @property
+    def best_score(self) -> float:
+        scored = [score for score in self._scores if score is not None]
+        return max(scored) if scored else float("-inf")
+
+    # ------------------------------------------------------------- ask/tell
+    def ask(self) -> dict[str, float | int]:
+        """Return the next parameter set to evaluate."""
+        if self._phase == "init":
+            return self._space.decode(self._vertices[self._pending_index])
+        if self._candidate is None:
+            self._prepare_reflection()
+        assert self._candidate is not None
+        return self._space.decode(self._candidate)
+
+    def tell(self, score: float) -> None:
+        """Report the score of the most recently asked parameter set."""
+        self._n_evaluations += 1
+        score = float(score)
+        if self._phase == "init":
+            self._scores[self._pending_index] = score
+            self._pending_index += 1
+            if self._pending_index >= len(self._vertices):
+                self._phase = "search"
+            return
+        self._advance_simplex(score)
+
+    # ------------------------------------------------------------ internals
+    def _order(self) -> None:
+        pairs = sorted(
+            zip(self._scores, self._vertices), key=lambda item: item[0], reverse=True
+        )
+        self._scores = [score for score, _ in pairs]
+        self._vertices = [vertex for _, vertex in pairs]
+
+    def _centroid(self) -> np.ndarray:
+        return np.mean(self._vertices[:-1], axis=0)
+
+    def _prepare_reflection(self) -> None:
+        self._order()
+        centroid = self._centroid()
+        worst = self._vertices[-1]
+        self._candidate = self._space.clip(
+            centroid + self._ALPHA * (centroid - worst)
+        )
+        self._candidate_kind = "reflection"
+
+    def _advance_simplex(self, score: float) -> None:
+        assert self._candidate is not None
+        centroid = self._centroid()
+        worst = self._vertices[-1]
+        best_score = self._scores[0]
+        second_worst_score = self._scores[-2]
+
+        if self._candidate_kind == "reflection":
+            self._reflection_score = score
+            self._reflection_vertex = self._candidate
+            if score > best_score:
+                self._candidate = self._space.clip(
+                    centroid + self._GAMMA * (self._reflection_vertex - centroid)
+                )
+                self._candidate_kind = "expansion"
+                return
+            if score > second_worst_score:
+                self._replace_worst(self._reflection_vertex, score)
+            else:
+                self._candidate = self._space.clip(
+                    centroid + self._RHO * (worst - centroid)
+                )
+                self._candidate_kind = "contraction"
+                return
+        elif self._candidate_kind == "expansion":
+            if score > self._reflection_score:
+                self._replace_worst(self._candidate, score)
+            else:
+                self._replace_worst(self._reflection_vertex, self._reflection_score)
+        elif self._candidate_kind == "contraction":
+            if score > self._scores[-1]:
+                self._replace_worst(self._candidate, score)
+            else:
+                self._shrink()
+        self._candidate = None
+        self._candidate_kind = ""
+
+    def _replace_worst(self, vertex: np.ndarray, score: float) -> None:
+        self._vertices[-1] = vertex
+        self._scores[-1] = score
+
+    def _shrink(self) -> None:
+        best = self._vertices[0]
+        for index in range(1, len(self._vertices)):
+            self._vertices[index] = self._space.clip(
+                best + self._SIGMA * (self._vertices[index] - best)
+            )
+            # Shrunk vertices need re-evaluation; mark with a pessimistic score
+            # so they are revisited as "worst" vertices in later iterations.
+            self._scores[index] = (
+                self._scores[index] - abs(self._scores[index]) * 0.1
+                if self._scores[index] is not None
+                else None
+            )
+
+
+def tune_on_stream(
+    space: ParameterSpace,
+    evaluate: Callable[[dict[str, float | int]], float],
+    n_iterations: int = 20,
+    seed: int | None = None,
+) -> tuple[dict[str, float | int], float]:
+    """Run the tuner for a fixed budget of window evaluations.
+
+    ``evaluate`` receives a parameter dictionary and must return the score of
+    a model configured with those parameters on the next data window (higher
+    is better).  Returns the best parameters and their score.
+    """
+    if n_iterations < space.dimension + 1:
+        raise ValueError("n_iterations must cover at least the initial simplex")
+    tuner = NelderMeadTuner(space, seed=seed)
+    for _ in range(n_iterations):
+        params = tuner.ask()
+        tuner.tell(evaluate(params))
+    return tuner.best_parameters, tuner.best_score

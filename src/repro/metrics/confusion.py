@@ -1,0 +1,141 @@
+"""Streaming confusion matrix and derived per-class statistics.
+
+Maintains exact counts (optionally over a sliding window) of true vs predicted
+labels for a multi-class stream.  All the imbalance-aware metrics in
+:mod:`repro.metrics` (per-class recall, G-mean, Kappa) are derived from it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["StreamingConfusionMatrix"]
+
+
+class StreamingConfusionMatrix:
+    """Confusion matrix over the full stream or a sliding window.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes.
+    window_size:
+        When given, only the most recent ``window_size`` predictions
+        contribute to the counts (prequential windowed evaluation); ``None``
+        accumulates over the whole stream.
+    """
+
+    def __init__(self, n_classes: int, window_size: int | None = None) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if window_size is not None and window_size < 1:
+            raise ValueError("window_size must be >= 1 or None")
+        self._n_classes = n_classes
+        self._window_size = window_size
+        self._matrix = np.zeros((n_classes, n_classes), dtype=np.float64)
+        self._window: deque[tuple[int, int]] | None = (
+            deque(maxlen=window_size) if window_size is not None else None
+        )
+        self._total = 0
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @property
+    def total(self) -> int:
+        """Number of predictions currently reflected in the matrix."""
+        return int(self._matrix.sum())
+
+    @property
+    def n_seen(self) -> int:
+        """Number of predictions observed since creation (ignores the window)."""
+        return self._total
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def reset(self) -> None:
+        self._matrix[:] = 0.0
+        if self._window is not None:
+            self._window.clear()
+        self._total = 0
+
+    def update(self, y_true: int, y_pred: int) -> None:
+        y_true, y_pred = int(y_true), int(y_pred)
+        if not (0 <= y_true < self._n_classes and 0 <= y_pred < self._n_classes):
+            raise ValueError("label out of range")
+        if self._window is not None and len(self._window) == self._window.maxlen:
+            old_true, old_pred = self._window[0]
+            self._matrix[old_true, old_pred] -= 1.0
+        if self._window is not None:
+            self._window.append((y_true, y_pred))
+        self._matrix[y_true, y_pred] += 1.0
+        self._total += 1
+
+    # ------------------------------------------------------------- derived
+    def support(self) -> np.ndarray:
+        """Number of (windowed) instances of each true class."""
+        return self._matrix.sum(axis=1)
+
+    def accuracy(self) -> float:
+        total = self._matrix.sum()
+        if total == 0.0:
+            return 0.0
+        return float(np.trace(self._matrix) / total)
+
+    def recall_per_class(self) -> np.ndarray:
+        """Recall of each class; NaN for classes without support."""
+        support = self.support()
+        diagonal = np.diag(self._matrix)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            recall = np.where(support > 0, diagonal / support, np.nan)
+        return recall
+
+    def precision_per_class(self) -> np.ndarray:
+        """Precision of each class; NaN for classes never predicted."""
+        predicted = self._matrix.sum(axis=0)
+        diagonal = np.diag(self._matrix)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            precision = np.where(predicted > 0, diagonal / predicted, np.nan)
+        return precision
+
+    def geometric_mean(self) -> float:
+        """Multi-class G-mean: geometric mean of per-class recalls.
+
+        Classes without support in the window are ignored; if any observed
+        class has zero recall the G-mean is zero (the standard convention that
+        makes the metric unforgiving of completely missed classes).
+        """
+        recall = self.recall_per_class()
+        observed = ~np.isnan(recall)
+        if not observed.any():
+            return 0.0
+        values = recall[observed]
+        if np.any(values <= 0.0):
+            return 0.0
+        return float(np.exp(np.mean(np.log(values))))
+
+    def kappa(self) -> float:
+        """Cohen's kappa over the (windowed) counts."""
+        total = self._matrix.sum()
+        if total == 0.0:
+            return 0.0
+        observed = np.trace(self._matrix) / total
+        row = self._matrix.sum(axis=1) / total
+        column = self._matrix.sum(axis=0) / total
+        expected = float(np.sum(row * column))
+        if expected >= 1.0:
+            return 0.0
+        return float((observed - expected) / (1.0 - expected))
+
+    def imbalance_ratio(self) -> float:
+        """Observed ratio between the biggest and smallest class supports."""
+        support = self.support()
+        positive = support[support > 0]
+        if positive.size < 2:
+            return 1.0
+        return float(positive.max() / positive.min())

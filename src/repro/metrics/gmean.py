@@ -1,0 +1,38 @@
+"""Prequential multi-class G-mean (pmGM).
+
+The geometric mean of per-class recalls computed over a sliding window of
+recent predictions — the second skew-insensitive metric used throughout the
+paper's evaluation.  A thin wrapper over
+:class:`repro.metrics.confusion.StreamingConfusionMatrix`.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.confusion import StreamingConfusionMatrix
+
+__all__ = ["PrequentialGMean"]
+
+
+class PrequentialGMean:
+    """Sliding-window multi-class geometric mean of recalls."""
+
+    def __init__(self, n_classes: int, window_size: int = 1000) -> None:
+        self._confusion = StreamingConfusionMatrix(n_classes, window_size=window_size)
+
+    @property
+    def n_classes(self) -> int:
+        return self._confusion.n_classes
+
+    def reset(self) -> None:
+        self._confusion.reset()
+
+    def update(self, y_true: int, y_pred: int) -> None:
+        self._confusion.update(y_true, y_pred)
+
+    def value(self) -> float:
+        """Current windowed G-mean (0 when any observed class is fully missed)."""
+        return self._confusion.geometric_mean()
+
+    def recall_per_class(self):
+        """Windowed recall of each class (NaN for classes without support)."""
+        return self._confusion.recall_per_class()

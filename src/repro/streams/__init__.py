@@ -1,0 +1,71 @@
+"""Data-stream substrate: instances, generators, drift and imbalance wrappers."""
+
+from repro.streams.base import (
+    DataStream,
+    Instance,
+    ListStream,
+    StreamSchema,
+    stream_to_arrays,
+    take,
+)
+from repro.streams.drift import (
+    ConceptDriftStream,
+    ConceptScheduleStream,
+    DriftingStream,
+    LocalDriftStream,
+    RecurringDriftStream,
+)
+from repro.streams.imbalance import (
+    DynamicImbalance,
+    ImbalancedStream,
+    ImbalanceProfile,
+    RoleSwitchingImbalance,
+    StaticImbalance,
+    geometric_priors,
+)
+from repro.streams.real_world import (
+    REAL_WORLD_SPECS,
+    RealWorldSpec,
+    real_world_names,
+    real_world_stream,
+)
+from repro.streams.scenarios import (
+    ARTIFICIAL_FAMILIES,
+    ScenarioStream,
+    make_artificial_stream,
+    make_generator,
+    scenario_global_drift,
+    scenario_local_drift,
+    scenario_role_switching,
+)
+
+__all__ = [
+    "DataStream",
+    "Instance",
+    "ListStream",
+    "StreamSchema",
+    "stream_to_arrays",
+    "take",
+    "ConceptDriftStream",
+    "ConceptScheduleStream",
+    "DriftingStream",
+    "LocalDriftStream",
+    "RecurringDriftStream",
+    "DynamicImbalance",
+    "ImbalancedStream",
+    "ImbalanceProfile",
+    "RoleSwitchingImbalance",
+    "StaticImbalance",
+    "geometric_priors",
+    "REAL_WORLD_SPECS",
+    "RealWorldSpec",
+    "real_world_names",
+    "real_world_stream",
+    "ARTIFICIAL_FAMILIES",
+    "ScenarioStream",
+    "make_artificial_stream",
+    "make_generator",
+    "scenario_global_drift",
+    "scenario_local_drift",
+    "scenario_role_switching",
+]

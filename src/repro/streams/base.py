@@ -1,0 +1,211 @@
+"""Core data-stream abstractions.
+
+The paper evaluates drift detectors on MOA data streams.  This module provides
+the equivalent substrate: an :class:`Instance` record, a :class:`StreamSchema`
+describing the feature space, and the :class:`DataStream` base class that every
+generator, drift wrapper, and imbalance wrapper in :mod:`repro.streams` builds
+on.  Streams are plain Python iterators over :class:`Instance` objects and are
+fully reproducible through an explicit seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Instance",
+    "StreamSchema",
+    "DataStream",
+    "ListStream",
+    "take",
+    "stream_to_arrays",
+]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A single labelled observation drawn from a data stream.
+
+    Attributes
+    ----------
+    x:
+        Feature vector as a 1-D ``float64`` NumPy array.
+    y:
+        Integer class label in ``[0, n_classes)``.
+    weight:
+        Optional instance weight (used by cost-sensitive learners).
+    """
+
+    x: np.ndarray
+    y: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=np.float64))
+        object.__setattr__(self, "y", int(self.y))
+
+    @property
+    def n_features(self) -> int:
+        """Number of features in the instance."""
+        return int(self.x.shape[0])
+
+
+@dataclass(frozen=True)
+class StreamSchema:
+    """Static description of a stream's feature and label space."""
+
+    n_features: int
+    n_classes: int
+    feature_names: tuple[str, ...] = field(default_factory=tuple)
+    class_names: tuple[str, ...] = field(default_factory=tuple)
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        if self.n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {self.n_features}")
+        if self.n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {self.n_classes}")
+        if not self.feature_names:
+            object.__setattr__(
+                self,
+                "feature_names",
+                tuple(f"x{i}" for i in range(self.n_features)),
+            )
+        if not self.class_names:
+            object.__setattr__(
+                self,
+                "class_names",
+                tuple(f"class_{k}" for k in range(self.n_classes)),
+            )
+        if len(self.feature_names) != self.n_features:
+            raise ValueError("feature_names length does not match n_features")
+        if len(self.class_names) != self.n_classes:
+            raise ValueError("class_names length does not match n_classes")
+
+
+class DataStream(abc.ABC):
+    """Base class for all data streams.
+
+    A stream exposes its :class:`StreamSchema` and yields :class:`Instance`
+    objects through :meth:`__iter__` / :meth:`next_instance`.  Implementations
+    must be deterministic for a given ``seed`` so that every experiment in the
+    benchmark harness is reproducible.
+    """
+
+    def __init__(self, schema: StreamSchema, seed: int | None = None) -> None:
+        self._schema = schema
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._position = 0
+
+    @property
+    def schema(self) -> StreamSchema:
+        """Schema describing features and classes of the stream."""
+        return self._schema
+
+    @property
+    def n_features(self) -> int:
+        return self._schema.n_features
+
+    @property
+    def n_classes(self) -> int:
+        return self._schema.n_classes
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def position(self) -> int:
+        """Number of instances emitted so far."""
+        return self._position
+
+    @property
+    def seed(self) -> int | None:
+        return self._seed
+
+    def restart(self) -> None:
+        """Reset the stream to its initial state (same seed, position zero)."""
+        self._rng = np.random.default_rng(self._seed)
+        self._position = 0
+
+    @abc.abstractmethod
+    def _generate(self) -> Instance:
+        """Produce the next raw instance.  Subclasses implement this."""
+
+    def next_instance(self) -> Instance:
+        """Return the next instance and advance the stream position."""
+        instance = self._generate()
+        self._position += 1
+        return instance
+
+    def __iter__(self) -> Iterator[Instance]:
+        while True:
+            yield self.next_instance()
+
+    def take(self, n: int) -> list[Instance]:
+        """Collect the next ``n`` instances into a list."""
+        return [self.next_instance() for _ in range(n)]
+
+
+class ListStream(DataStream):
+    """A finite stream backed by an in-memory list of instances.
+
+    Useful for tests and for replaying previously materialised streams.  The
+    stream raises :class:`StopIteration` once exhausted.
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[Instance],
+        schema: StreamSchema | None = None,
+        name: str = "list-stream",
+    ) -> None:
+        if not instances:
+            raise ValueError("ListStream requires at least one instance")
+        if schema is None:
+            n_features = instances[0].n_features
+            n_classes = max(inst.y for inst in instances) + 1
+            schema = StreamSchema(
+                n_features=n_features, n_classes=max(2, n_classes), name=name
+            )
+        super().__init__(schema, seed=None)
+        self._instances = list(instances)
+        self._cursor = 0
+
+    def restart(self) -> None:
+        super().restart()
+        self._cursor = 0
+
+    def _generate(self) -> Instance:
+        if self._cursor >= len(self._instances):
+            raise StopIteration("ListStream exhausted")
+        instance = self._instances[self._cursor]
+        self._cursor += 1
+        return instance
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+
+def take(stream: Iterable[Instance], n: int) -> list[Instance]:
+    """Take up to ``n`` instances from any iterable of instances."""
+    out: list[Instance] = []
+    for instance in stream:
+        out.append(instance)
+        if len(out) >= n:
+            break
+    return out
+
+
+def stream_to_arrays(instances: Sequence[Instance]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a sequence of instances into ``(X, y)`` NumPy arrays."""
+    if not instances:
+        raise ValueError("cannot convert an empty instance sequence")
+    features = np.vstack([inst.x for inst in instances])
+    labels = np.asarray([inst.y for inst in instances], dtype=np.int64)
+    return features, labels

@@ -1,0 +1,319 @@
+"""Concept-drift composition and injection.
+
+This module turns stationary generators into drifting streams.  It covers the
+drift taxonomy from Section II of the paper:
+
+* **speed** — sudden, gradual, and incremental drifts between two concepts
+  (:class:`ConceptDriftStream`), plus multi-drift schedules
+  (:class:`ConceptScheduleStream`) and recurring concepts
+  (:class:`RecurringDriftStream`);
+* **locality** — :class:`LocalDriftStream` restricts a real drift to a chosen
+  subset of classes, which is the mechanism behind the paper's Experiment 2
+  (Fig. 8): only instances of the drifted classes change their conditional
+  distribution, all remaining classes keep the old concept.
+
+All wrappers record the ground-truth drift positions in
+:attr:`DriftingStream.drift_points` so the evaluation harness can compute
+detection delays and false-alarm rates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = [
+    "DriftingStream",
+    "ConceptDriftStream",
+    "ConceptScheduleStream",
+    "RecurringDriftStream",
+    "LocalDriftStream",
+    "sample_instance_of_class",
+]
+
+_MAX_REJECTION_TRIES = 5_000
+
+
+def sample_instance_of_class(
+    stream: DataStream, label: int, max_tries: int = _MAX_REJECTION_TRIES
+) -> Instance:
+    """Rejection-sample an instance of class ``label`` from ``stream``.
+
+    Raises
+    ------
+    RuntimeError
+        If the class was not observed within ``max_tries`` draws (e.g. the
+        generator never produces it under the current concept).
+    """
+    for _ in range(max_tries):
+        instance = stream.next_instance()
+        if instance.y == label:
+            return instance
+    raise RuntimeError(
+        f"could not sample an instance of class {label} from stream "
+        f"'{stream.name}' within {max_tries} draws"
+    )
+
+
+class DriftingStream(DataStream):
+    """Base class for drift wrappers: tracks ground-truth drift positions."""
+
+    def __init__(self, schema: StreamSchema, seed: int | None = None) -> None:
+        super().__init__(schema, seed)
+        self._drift_points: list[int] = []
+
+    @property
+    def drift_points(self) -> list[int]:
+        """Instance indices at which a (real) drift starts."""
+        return list(self._drift_points)
+
+
+class ConceptDriftStream(DriftingStream):
+    """Switch from one stream to another with sudden/gradual/incremental drift.
+
+    Mirrors MOA's ``ConceptDriftStream``: before ``position`` all instances
+    come from ``base``; after ``position + width`` all come from ``drift``;
+    inside the transition window the probability of drawing from the new
+    concept grows from 0 to 1.
+
+    Parameters
+    ----------
+    base, drift:
+        Old- and new-concept streams; they must share the same schema shape.
+    position:
+        Index of the first instance of the transition.
+    width:
+        Length of the transition window.  ``width=0`` (or ``kind='sudden'``)
+        produces an abrupt switch.
+    kind:
+        ``'sudden'``, ``'gradual'`` (probabilistic oscillation, Eq. 5) or
+        ``'incremental'`` (sigmoidal mixture progression, Eq. 3).
+    """
+
+    def __init__(
+        self,
+        base: DataStream,
+        drift: DataStream,
+        position: int,
+        width: int = 1,
+        kind: str = "sudden",
+        seed: int | None = None,
+    ) -> None:
+        if base.n_features != drift.n_features or base.n_classes != drift.n_classes:
+            raise ValueError("base and drift streams must share the same schema shape")
+        if kind not in ("sudden", "gradual", "incremental"):
+            raise ValueError(f"unknown drift kind: {kind!r}")
+        if position < 0 or width < 0:
+            raise ValueError("position and width must be non-negative")
+        schema = StreamSchema(
+            n_features=base.n_features,
+            n_classes=base.n_classes,
+            name=f"{base.name}->drift@{position}",
+        )
+        super().__init__(schema, seed)
+        self._base = base
+        self._drift = drift
+        self._drift_position = position
+        self._width = 0 if kind == "sudden" else max(1, width)
+        self._kind = kind
+        self._drift_points = [position]
+
+    def restart(self) -> None:
+        super().restart()
+        self._base.restart()
+        self._drift.restart()
+
+    def _new_concept_probability(self, t: int) -> float:
+        if t < self._drift_position:
+            return 0.0
+        if t >= self._drift_position + self._width:
+            return 1.0
+        progress = (t - self._drift_position) / self._width
+        if self._kind == "incremental":
+            # Smooth sigmoidal progression (MOA uses 1/(1+e^{-4(t-p)/w})).
+            return float(1.0 / (1.0 + np.exp(-4.0 * (2.0 * progress - 1.0))))
+        return float(progress)
+
+    def _generate(self) -> Instance:
+        probability = self._new_concept_probability(self._position)
+        use_new = self._rng.random() < probability
+        source = self._drift if use_new else self._base
+        return source.next_instance()
+
+
+class ConceptScheduleStream(DriftingStream):
+    """Apply a schedule of concept switches to a single re-configurable generator.
+
+    The wrapped generator must expose ``set_concept(int)`` (all generators in
+    :mod:`repro.streams.generators` do).  At each scheduled position the
+    concept index is switched, producing a sudden real drift over all classes.
+    """
+
+    def __init__(
+        self,
+        generator: DataStream,
+        schedule: Sequence[tuple[int, int]],
+        seed: int | None = None,
+    ) -> None:
+        if not hasattr(generator, "set_concept"):
+            raise TypeError("generator must expose set_concept(int)")
+        schema = StreamSchema(
+            n_features=generator.n_features,
+            n_classes=generator.n_classes,
+            name=f"{generator.name}-scheduled",
+        )
+        super().__init__(schema, seed)
+        self._generator = generator
+        self._schedule = sorted((int(p), int(c)) for p, c in schedule)
+        if any(p < 0 for p, _ in self._schedule):
+            raise ValueError("schedule positions must be non-negative")
+        self._drift_points = [p for p, _ in self._schedule if p > 0]
+        self._next_switch = 0
+
+    def restart(self) -> None:
+        super().restart()
+        self._generator.restart()
+        self._next_switch = 0
+
+    def _generate(self) -> Instance:
+        while (
+            self._next_switch < len(self._schedule)
+            and self._schedule[self._next_switch][0] <= self._position
+        ):
+            _, concept = self._schedule[self._next_switch]
+            self._generator.set_concept(concept)
+            self._next_switch += 1
+        return self._generator.next_instance()
+
+
+class RecurringDriftStream(DriftingStream):
+    """Cycle through a fixed list of concepts every ``period`` instances."""
+
+    def __init__(
+        self,
+        generator: DataStream,
+        concepts: Sequence[int],
+        period: int,
+        seed: int | None = None,
+    ) -> None:
+        if not hasattr(generator, "set_concept"):
+            raise TypeError("generator must expose set_concept(int)")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not concepts:
+            raise ValueError("concepts must be non-empty")
+        schema = StreamSchema(
+            n_features=generator.n_features,
+            n_classes=generator.n_classes,
+            name=f"{generator.name}-recurring",
+        )
+        super().__init__(schema, seed)
+        self._generator = generator
+        self._concepts = list(concepts)
+        self._period = period
+        self._current_index = -1
+
+    @property
+    def drift_points(self) -> list[int]:
+        emitted = self._position
+        return [p for p in range(self._period, emitted + 1, self._period)]
+
+    def restart(self) -> None:
+        super().restart()
+        self._generator.restart()
+        self._current_index = -1
+
+    def _generate(self) -> Instance:
+        index = (self._position // self._period) % len(self._concepts)
+        if index != self._current_index:
+            self._generator.set_concept(self._concepts[index])
+            self._current_index = index
+        return self._generator.next_instance()
+
+
+class LocalDriftStream(DriftingStream):
+    """Inject a real concept drift into only a subset of classes.
+
+    Two copies of the generator are kept: one on the old concept and one on
+    the new concept.  The class label of each emitted instance is decided by
+    the old-concept prior (so class frequencies are unaffected), and the
+    feature vector is then drawn conditionally:
+
+    * classes in ``drifted_classes`` switch to the new concept after the drift
+      point (progressively inside the transition window);
+    * all other classes keep drawing from the old concept.
+
+    This matches the paper's Scenario 3 / Experiment 2 construction where only
+    ``k`` of ``M`` classes undergo a real drift.
+    """
+
+    def __init__(
+        self,
+        generator_factory: Callable[[int], DataStream],
+        old_concept: int,
+        new_concept: int,
+        drifted_classes: Sequence[int],
+        position: int,
+        width: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        old_stream = generator_factory(old_concept)
+        new_stream = generator_factory(new_concept)
+        if (
+            old_stream.n_features != new_stream.n_features
+            or old_stream.n_classes != new_stream.n_classes
+        ):
+            raise ValueError("factory must produce streams with identical schema shape")
+        drifted = sorted(set(int(c) for c in drifted_classes))
+        if not drifted:
+            raise ValueError("drifted_classes must not be empty")
+        if any(c < 0 or c >= old_stream.n_classes for c in drifted):
+            raise ValueError("drifted_classes out of range")
+        if position < 0 or width < 0:
+            raise ValueError("position and width must be non-negative")
+        schema = StreamSchema(
+            n_features=old_stream.n_features,
+            n_classes=old_stream.n_classes,
+            name=f"{old_stream.name}-local-drift",
+        )
+        super().__init__(schema, seed)
+        self._old = old_stream
+        self._new = new_stream
+        self._drifted = drifted
+        self._drift_position = position
+        self._width = max(1, width)
+        self._drift_points = [position]
+
+    @property
+    def drifted_classes(self) -> list[int]:
+        return list(self._drifted)
+
+    def restart(self) -> None:
+        super().restart()
+        self._old.restart()
+        self._new.restart()
+
+    def _new_concept_probability(self, t: int) -> float:
+        if t < self._drift_position:
+            return 0.0
+        if t >= self._drift_position + self._width:
+            return 1.0
+        return (t - self._drift_position) / self._width
+
+    def _generate(self) -> Instance:
+        anchor = self._old.next_instance()
+        label = anchor.y
+        if label not in self._drifted:
+            return anchor
+        probability = self._new_concept_probability(self._position)
+        if probability <= 0.0 or self._rng.random() >= probability:
+            return anchor
+        try:
+            return sample_instance_of_class(self._new, label)
+        except RuntimeError:
+            # The new concept may not produce this class at all (extreme
+            # cases); fall back to the old-concept instance rather than hang.
+            return anchor

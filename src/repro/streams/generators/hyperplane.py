@@ -1,0 +1,96 @@
+"""Rotating hyperplane generator (multi-class).
+
+The hyperplane generator labels points in the unit hypercube by which side of
+a moving hyperplane they fall on.  The multi-class variant used in the paper
+(Hyperplane5/10/20) is obtained by slicing the signed distance to the
+hyperplane into ``n_classes`` bands.  Incremental/gradual drift is produced by
+letting the hyperplane weights move continuously (``mag_change``); the drift
+wrappers can additionally switch whole concepts by re-randomising the weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["HyperplaneGenerator"]
+
+
+class HyperplaneGenerator(DataStream):
+    """Multi-class rotating hyperplane stream.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of label bands.
+    n_features:
+        Dimensionality of the unit hypercube.
+    mag_change:
+        Magnitude of per-instance weight drift (0 = stationary concept).
+    noise:
+        Probability of flipping the label to a uniformly random class.
+    sigma_direction_change:
+        Probability of reversing the drift direction of each weight after an
+        instance (as in MOA's ``sigmaPercentage``).
+    concept:
+        Seed offset for the initial hyperplane weights; switching concepts
+        re-randomises the weight vector.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 5,
+        n_features: int = 20,
+        mag_change: float = 0.0,
+        noise: float = 0.05,
+        sigma_direction_change: float = 0.1,
+        concept: int = 0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        schema = StreamSchema(
+            n_features=n_features,
+            n_classes=n_classes,
+            name=name or f"hyperplane{n_classes}",
+        )
+        super().__init__(schema, seed)
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self._mag_change = mag_change
+        self._noise = noise
+        self._sigma = sigma_direction_change
+        self._concept = concept
+        self._init_concept(concept)
+
+    def _init_concept(self, concept: int) -> None:
+        concept_rng = np.random.default_rng(7_000 + concept)
+        self._weights = concept_rng.uniform(-1.0, 1.0, size=self.n_features)
+        self._directions = concept_rng.choice([-1.0, 1.0], size=self.n_features)
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        """Switch to a freshly randomised hyperplane (sudden real drift)."""
+        self._concept = concept
+        self._init_concept(concept)
+
+    def _generate(self) -> Instance:
+        x = self._rng.uniform(0.0, 1.0, size=self.n_features)
+        # Signed, weight-normalised distance from the hyperplane through the
+        # centre of the hypercube, mapped to [0, 1].
+        norm = np.sum(np.abs(self._weights)) + 1e-12
+        margin = float(self._weights @ (x - 0.5)) / norm
+        score = 0.5 + margin  # in [0, 1] approximately
+        score = float(np.clip(score, 0.0, 1.0 - 1e-9))
+        label = int(score * self.n_classes)
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = int(self._rng.integers(self.n_classes))
+        # Incremental concept drift: move the hyperplane.
+        if self._mag_change > 0.0:
+            self._weights += self._directions * self._mag_change
+            flips = self._rng.random(self.n_features) < self._sigma
+            self._directions[flips] *= -1.0
+        return Instance(x=x, y=label)

@@ -1,0 +1,97 @@
+"""LED display generator (Breiman et al., 1984; MOA LEDGeneratorDrift).
+
+The instance encodes the seven segments of an LED display showing a digit
+0-9; the task is to predict the digit.  Noise flips each segment with a given
+probability, and drift is modelled (as in MOA) by swapping the roles of a
+number of attributes, which changes p(y|x) for every class simultaneously.
+Extra irrelevant binary attributes can be appended.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["LEDGenerator"]
+
+_SEGMENTS = np.array(
+    [
+        [1, 1, 1, 0, 1, 1, 1],
+        [0, 0, 1, 0, 0, 1, 0],
+        [1, 0, 1, 1, 1, 0, 1],
+        [1, 0, 1, 1, 0, 1, 1],
+        [0, 1, 1, 1, 0, 1, 0],
+        [1, 1, 0, 1, 0, 1, 1],
+        [1, 1, 0, 1, 1, 1, 1],
+        [1, 0, 1, 0, 0, 1, 0],
+        [1, 1, 1, 1, 1, 1, 1],
+        [1, 1, 1, 1, 0, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+
+class LEDGenerator(DataStream):
+    """Seven-segment LED digit recognition stream.
+
+    Parameters
+    ----------
+    noise_percentage:
+        Probability of inverting each relevant segment.
+    n_irrelevant:
+        Number of additional random binary attributes appended to the
+        instance.
+    n_drift_attributes:
+        Number of attribute positions swapped relative to the canonical
+        layout — MOA's mechanism for injecting drift into LED streams.
+    """
+
+    def __init__(
+        self,
+        noise_percentage: float = 0.1,
+        n_irrelevant: int = 17,
+        n_drift_attributes: int = 0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 <= noise_percentage <= 1.0:
+            raise ValueError("noise_percentage must be in [0, 1]")
+        n_features = 7 + n_irrelevant
+        if not 0 <= n_drift_attributes <= n_features:
+            raise ValueError("n_drift_attributes must be in [0, n_features]")
+        schema = StreamSchema(
+            n_features=n_features, n_classes=10, name=name or "led"
+        )
+        super().__init__(schema, seed)
+        self._noise = noise_percentage
+        self._n_irrelevant = n_irrelevant
+        self._permutation = np.arange(n_features)
+        self.set_drift_attributes(n_drift_attributes)
+
+    def set_drift_attributes(self, n_drift_attributes: int) -> None:
+        """Swap ``n_drift_attributes`` positions, changing feature semantics."""
+        if not 0 <= n_drift_attributes <= self.n_features:
+            raise ValueError("n_drift_attributes must be in [0, n_features]")
+        self._n_drift = n_drift_attributes
+        permutation = np.arange(self.n_features)
+        if n_drift_attributes > 1:
+            swap_rng = np.random.default_rng(31_000 + n_drift_attributes)
+            chosen = swap_rng.choice(
+                self.n_features, size=n_drift_attributes, replace=False
+            )
+            permutation[chosen] = np.roll(permutation[chosen], 1)
+        self._permutation = permutation
+
+    @property
+    def n_drift_attributes(self) -> int:
+        return self._n_drift
+
+    def _generate(self) -> Instance:
+        digit = int(self._rng.integers(10))
+        segments = _SEGMENTS[digit].copy()
+        flips = self._rng.random(7) < self._noise
+        segments[flips] = 1.0 - segments[flips]
+        irrelevant = self._rng.integers(0, 2, size=self._n_irrelevant).astype(np.float64)
+        x = np.concatenate([segments, irrelevant])[self._permutation]
+        return Instance(x=x, y=digit)

@@ -1,0 +1,59 @@
+"""MIXED generator (Gama et al., 2004).
+
+Two boolean and two numeric attributes; the positive concept holds when at
+least two of three conditions are met: ``v``, ``w``, and
+``x2 < 0.5 + 0.3 sin(3*pi*x1)``.  Concept 1 reverses the labels.  This small
+generator is mainly used in unit tests and examples of abrupt drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["MixedGenerator"]
+
+
+class MixedGenerator(DataStream):
+    """MIXED abrupt-drift benchmark stream (two concepts, binary labels)."""
+
+    def __init__(
+        self,
+        concept: int = 0,
+        noise: float = 0.0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if concept not in (0, 1):
+            raise ValueError("MIXED has exactly two concepts: 0 and 1")
+        schema = StreamSchema(n_features=4, n_classes=2, name=name or "mixed")
+        super().__init__(schema, seed)
+        self._concept = concept
+        self._noise = noise
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        if concept not in (0, 1):
+            raise ValueError("MIXED has exactly two concepts: 0 and 1")
+        self._concept = concept
+
+    def _generate(self) -> Instance:
+        v = float(self._rng.integers(2))
+        w = float(self._rng.integers(2))
+        x1 = float(self._rng.random())
+        x2 = float(self._rng.random())
+        conditions = [
+            v == 1.0,
+            w == 1.0,
+            x2 < 0.5 + 0.3 * np.sin(3.0 * np.pi * x1),
+        ]
+        label = int(sum(conditions) >= 2)
+        if self._concept == 1:
+            label = 1 - label
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = 1 - label
+        return Instance(x=np.array([v, w, x1, x2]), y=label)

@@ -1,0 +1,133 @@
+"""Random decision-tree generator.
+
+A random decision tree over numeric features is built first; instances are
+then sampled uniformly from the feature space and labelled by routing them
+through the tree.  Switching ``concept`` rebuilds the tree, giving a sudden
+real drift with completely new decision boundaries — the behaviour the paper
+relies on for the RandomTree5/10/20 streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["RandomTreeGenerator"]
+
+
+@dataclass
+class _Node:
+    """Internal node (split) or leaf (label) of the generating tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    label: int = -1
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label >= 0
+
+
+class RandomTreeGenerator(DataStream):
+    """Stream labelled by a randomly generated decision tree.
+
+    Parameters
+    ----------
+    n_classes, n_features:
+        Shape of the problem.
+    max_depth:
+        Depth of the generating tree.
+    leaf_fraction:
+        Probability of turning an internal node into a leaf early (before
+        ``max_depth``), controlling boundary complexity.
+    noise:
+        Probability of replacing the tree label with a random class.
+    concept:
+        Index selecting the generating tree; a new concept is a new tree.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 5,
+        n_features: int = 20,
+        max_depth: int = 6,
+        leaf_fraction: float = 0.15,
+        noise: float = 0.0,
+        concept: int = 0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        schema = StreamSchema(
+            n_features=n_features,
+            n_classes=n_classes,
+            name=name or f"randomtree{n_classes}",
+        )
+        super().__init__(schema, seed)
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self._max_depth = max_depth
+        self._leaf_fraction = leaf_fraction
+        self._noise = noise
+        self._concept = concept
+        self._root = self._build_tree(concept)
+
+    def _build_tree(self, concept: int) -> _Node:
+        tree_rng = np.random.default_rng(23_000 + concept)
+        label_cycle = iter([])
+
+        def next_label() -> int:
+            nonlocal label_cycle
+            try:
+                return next(label_cycle)
+            except StopIteration:
+                # Cycle through all classes first so each appears in the tree,
+                # then continue with uniformly random labels.
+                label_cycle = iter(tree_rng.permutation(self.n_classes).tolist())
+                return next(label_cycle)
+
+        def build(depth: int, low: np.ndarray, high: np.ndarray) -> _Node:
+            early_leaf = depth > 1 and tree_rng.random() < self._leaf_fraction
+            if depth >= self._max_depth or early_leaf:
+                return _Node(label=next_label())
+            feature = int(tree_rng.integers(self.n_features))
+            threshold = float(tree_rng.uniform(low[feature], high[feature]))
+            node = _Node(feature=feature, threshold=threshold)
+            left_high = high.copy()
+            left_high[feature] = threshold
+            right_low = low.copy()
+            right_low[feature] = threshold
+            node.left = build(depth + 1, low, left_high)
+            node.right = build(depth + 1, right_low, high)
+            return node
+
+        low = np.zeros(self.n_features)
+        high = np.ones(self.n_features)
+        return build(0, low, high)
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        """Rebuild the generating tree (sudden real drift on all classes)."""
+        self._concept = concept
+        self._root = self._build_tree(concept)
+
+    def _classify(self, x: np.ndarray) -> int:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.label
+
+    def _generate(self) -> Instance:
+        x = self._rng.uniform(0.0, 1.0, size=self.n_features)
+        label = self._classify(x)
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = int(self._rng.integers(self.n_classes))
+        return Instance(x=x, y=label)

@@ -1,0 +1,113 @@
+"""Random RBF (radial basis function) generator.
+
+Instances are drawn from a mixture of Gaussian centroids, each centroid being
+assigned to a class.  This is the classic MOA RandomRBF generator; the paper
+uses RBF5/RBF10/RBF20 with sudden drifts, which correspond to replacing the
+set of centroids (a new ``concept``).  Optionally the centroids can move with
+constant speed to model incremental drift (the MOA "RandomRBFDrift" variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["RandomRBFGenerator"]
+
+
+@dataclass
+class _Centroid:
+    centre: np.ndarray
+    class_label: int
+    std_dev: float
+    weight: float
+    direction: np.ndarray
+
+
+class RandomRBFGenerator(DataStream):
+    """Stream generated from randomly placed class-labelled Gaussian centroids.
+
+    Parameters
+    ----------
+    n_classes, n_features:
+        Shape of the problem.
+    n_centroids:
+        Number of Gaussian centroids; each is assigned a class label so that
+        every class owns at least one centroid.
+    centroid_speed:
+        Per-instance displacement of each centroid along a random unit vector
+        (0 = stationary concept; >0 = incremental drift).
+    concept:
+        Index controlling the centroid layout; switching concepts replaces all
+        centroids (sudden real drift).
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 5,
+        n_features: int = 20,
+        n_centroids: int = 50,
+        centroid_speed: float = 0.0,
+        concept: int = 0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if n_centroids < n_classes:
+            raise ValueError("n_centroids must be >= n_classes")
+        schema = StreamSchema(
+            n_features=n_features,
+            n_classes=n_classes,
+            name=name or f"rbf{n_classes}",
+        )
+        super().__init__(schema, seed)
+        self._n_centroids = n_centroids
+        self._centroid_speed = centroid_speed
+        self._concept = concept
+        self._centroids: list[_Centroid] = []
+        self._init_concept(concept)
+
+    def _init_concept(self, concept: int) -> None:
+        concept_rng = np.random.default_rng(11_000 + concept)
+        self._centroids = []
+        for idx in range(self._n_centroids):
+            centre = concept_rng.uniform(0.0, 1.0, size=self.n_features)
+            # Guarantee every class has at least one centroid.
+            label = idx % self.n_classes if idx < self.n_classes else int(
+                concept_rng.integers(self.n_classes)
+            )
+            std_dev = concept_rng.uniform(0.02, 0.12)
+            weight = concept_rng.uniform(0.2, 1.0)
+            direction = concept_rng.normal(size=self.n_features)
+            direction /= np.linalg.norm(direction) + 1e-12
+            self._centroids.append(
+                _Centroid(centre, label, std_dev, weight, direction)
+            )
+        weights = np.array([c.weight for c in self._centroids])
+        self._probs = weights / weights.sum()
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        """Replace every centroid — a sudden real drift on all classes."""
+        self._concept = concept
+        self._init_concept(concept)
+
+    def centroids_of_class(self, label: int) -> list[np.ndarray]:
+        """Return the centres currently assigned to ``label`` (for inspection)."""
+        return [c.centre.copy() for c in self._centroids if c.class_label == label]
+
+    def _generate(self) -> Instance:
+        idx = int(self._rng.choice(len(self._centroids), p=self._probs))
+        centroid = self._centroids[idx]
+        offset = self._rng.normal(0.0, centroid.std_dev, size=self.n_features)
+        x = np.clip(centroid.centre + offset, 0.0, 1.0)
+        if self._centroid_speed > 0.0:
+            centroid.centre = np.clip(
+                centroid.centre + centroid.direction * self._centroid_speed, 0.0, 1.0
+            )
+        return Instance(x=x, y=centroid.class_label)

@@ -1,0 +1,83 @@
+"""SEA concepts generator (Street & Kim, 2001), multi-class extension.
+
+The original SEA generator draws three uniform features in [0, 10] and labels
+an instance positive when ``x1 + x2 <= theta`` for a per-concept threshold
+``theta``.  The multi-class extension used here slices ``x1 + x2`` into
+``n_classes`` bands whose boundaries shift with the concept index, preserving
+the original generator's structure while supporting more than two classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["SEAGenerator"]
+
+_CONCEPT_OFFSETS = (0.0, 1.0, -1.0, 2.0)
+
+
+class SEAGenerator(DataStream):
+    """SEA concepts stream with a configurable number of classes.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of label bands on ``x1 + x2``.
+    concept:
+        Concept index in ``[0, 4)``; each concept shifts the band boundaries.
+    noise:
+        Probability of label flip to a random class.
+    n_features:
+        Total number of features; only the first two are relevant, the rest
+        are uniform noise (as in the original generator's third feature).
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        concept: int = 0,
+        noise: float = 0.1,
+        n_features: int = 3,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if n_features < 2:
+            raise ValueError("SEA requires at least 2 features")
+        if not 0 <= concept < len(_CONCEPT_OFFSETS):
+            raise ValueError(
+                f"concept must be in [0, {len(_CONCEPT_OFFSETS)}), got {concept}"
+            )
+        schema = StreamSchema(
+            n_features=n_features, n_classes=n_classes, name=name or "sea"
+        )
+        super().__init__(schema, seed)
+        self._concept = concept
+        self._noise = noise
+        self._recompute_edges()
+
+    def _recompute_edges(self) -> None:
+        offset = _CONCEPT_OFFSETS[self._concept]
+        # x1 + x2 ranges over [0, 20]; distribute band edges evenly and shift.
+        edges = np.linspace(0.0, 20.0, self.n_classes + 1)[1:-1] + offset
+        self._edges = edges
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        if not 0 <= concept < len(_CONCEPT_OFFSETS):
+            raise ValueError(
+                f"concept must be in [0, {len(_CONCEPT_OFFSETS)}), got {concept}"
+            )
+        self._concept = concept
+        self._recompute_edges()
+
+    def _generate(self) -> Instance:
+        x = self._rng.uniform(0.0, 10.0, size=self.n_features)
+        label = int(np.searchsorted(self._edges, x[0] + x[1]))
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = int(self._rng.integers(self.n_classes))
+        return Instance(x=x, y=label)

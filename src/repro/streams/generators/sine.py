@@ -1,0 +1,71 @@
+"""Sine generator (Gama et al., 2004 drift benchmarks).
+
+Two uniform features in [0, 1]; the label depends on whether the point lies
+above or below a sine curve.  Four classic concepts are provided (SINE1,
+SINE2 and their reversed variants) and a multi-class extension is obtained by
+measuring the signed distance to the curve and slicing it into bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["SineGenerator"]
+
+
+class SineGenerator(DataStream):
+    """Sine-curve classification stream.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of bands on the signed distance to the curve (2 reproduces the
+        classic generator).
+    concept:
+        0: ``sin(2*pi*x1)`` curve; 1: ``0.5 + 0.3 sin(3*pi*x1)`` curve;
+        2 and 3 are the label-reversed variants of 0 and 1.
+    noise:
+        Label flip probability.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        concept: int = 0,
+        noise: float = 0.0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not 0 <= concept < 4:
+            raise ValueError(f"concept must be in [0, 4), got {concept}")
+        schema = StreamSchema(n_features=2, n_classes=n_classes, name=name or "sine")
+        super().__init__(schema, seed)
+        self._concept = concept
+        self._noise = noise
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        if not 0 <= concept < 4:
+            raise ValueError(f"concept must be in [0, 4), got {concept}")
+        self._concept = concept
+
+    def _curve(self, x1: float) -> float:
+        if self._concept % 2 == 0:
+            return 0.5 + 0.4 * np.sin(2.0 * np.pi * x1)
+        return 0.5 + 0.3 * np.sin(3.0 * np.pi * x1)
+
+    def _generate(self) -> Instance:
+        x = self._rng.uniform(0.0, 1.0, size=2)
+        distance = float(x[1] - self._curve(x[0]))  # in roughly [-1, 1]
+        if self._concept >= 2:
+            distance = -distance
+        score = float(np.clip((distance + 1.0) / 2.0, 0.0, 1.0 - 1e-9))
+        label = int(score * self.n_classes)
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = int(self._rng.integers(self.n_classes))
+        return Instance(x=x, y=label)

@@ -1,0 +1,99 @@
+"""STAGGER concepts generator (Schlimmer & Granger, 1986).
+
+Three symbolic attributes — size {small, medium, large}, colour {red, green,
+blue}, shape {square, circular, triangular} — one-hot encoded into nine binary
+features.  Three classic boolean concepts are provided; a multi-class variant
+assigns labels by counting how many of the three concept predicates hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["StaggerGenerator"]
+
+_SIZES = ("small", "medium", "large")
+_COLOURS = ("red", "green", "blue")
+_SHAPES = ("square", "circular", "triangular")
+
+
+class StaggerGenerator(DataStream):
+    """STAGGER boolean-concept stream over one-hot symbolic features.
+
+    Parameters
+    ----------
+    concept:
+        0: ``size=small and colour=red``;
+        1: ``colour=green or shape=circular``;
+        2: ``size=medium or size=large``.
+    multi_class:
+        When True the label counts how many of the three classic predicates
+        hold (4 classes); otherwise the label is the selected concept's truth
+        value (2 classes).
+    """
+
+    def __init__(
+        self,
+        concept: int = 0,
+        multi_class: bool = False,
+        noise: float = 0.0,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not 0 <= concept < 3:
+            raise ValueError(f"concept must be in [0, 3), got {concept}")
+        n_classes = 4 if multi_class else 2
+        schema = StreamSchema(
+            n_features=9,
+            n_classes=n_classes,
+            feature_names=tuple(
+                f"{group}_{value}"
+                for group, values in (
+                    ("size", _SIZES),
+                    ("colour", _COLOURS),
+                    ("shape", _SHAPES),
+                )
+                for value in values
+            ),
+            name=name or "stagger",
+        )
+        super().__init__(schema, seed)
+        self._concept = concept
+        self._multi_class = multi_class
+        self._noise = noise
+
+    @property
+    def concept(self) -> int:
+        return self._concept
+
+    def set_concept(self, concept: int) -> None:
+        if not 0 <= concept < 3:
+            raise ValueError(f"concept must be in [0, 3), got {concept}")
+        self._concept = concept
+
+    @staticmethod
+    def _predicates(size: int, colour: int, shape: int) -> tuple[bool, bool, bool]:
+        return (
+            size == 0 and colour == 0,
+            colour == 1 or shape == 1,
+            size in (1, 2),
+        )
+
+    def _generate(self) -> Instance:
+        size = int(self._rng.integers(3))
+        colour = int(self._rng.integers(3))
+        shape = int(self._rng.integers(3))
+        x = np.zeros(9)
+        x[size] = 1.0
+        x[3 + colour] = 1.0
+        x[6 + shape] = 1.0
+        predicates = self._predicates(size, colour, shape)
+        if self._multi_class:
+            label = int(sum(predicates))
+        else:
+            label = int(predicates[self._concept])
+        if self._noise > 0.0 and self._rng.random() < self._noise:
+            label = int(self._rng.integers(self.n_classes))
+        return Instance(x=x, y=label)

@@ -1,0 +1,62 @@
+"""Waveform generator (Breiman et al., 1984; MOA WaveformGenerator).
+
+Each instance is a random convex combination of two of three triangular base
+waveforms sampled at 21 positions, plus Gaussian noise; the class identifies
+the pair of waveforms combined.  Optionally 19 pure-noise attributes are
+appended (the classic "waveform+noise" variant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = ["WaveformGenerator"]
+
+_N_POSITIONS = 21
+
+
+def _base_waveforms() -> np.ndarray:
+    positions = np.arange(_N_POSITIONS, dtype=np.float64)
+    h1 = np.maximum(6.0 - np.abs(positions - 7.0), 0.0)
+    h2 = np.maximum(6.0 - np.abs(positions - 11.0), 0.0)
+    h3 = np.maximum(6.0 - np.abs(positions - 15.0), 0.0)
+    return np.vstack([h1, h2, h3])
+
+
+class WaveformGenerator(DataStream):
+    """Three-class waveform recognition stream.
+
+    Parameters
+    ----------
+    add_noise_features:
+        When True, append 19 standard-normal noise attributes (40 total).
+    """
+
+    _PAIRS = ((0, 1), (1, 2), (0, 2))
+
+    def __init__(
+        self,
+        add_noise_features: bool = False,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        n_features = _N_POSITIONS + (19 if add_noise_features else 0)
+        schema = StreamSchema(
+            n_features=n_features, n_classes=3, name=name or "waveform"
+        )
+        super().__init__(schema, seed)
+        self._add_noise = add_noise_features
+        self._waves = _base_waveforms()
+
+    def _generate(self) -> Instance:
+        label = int(self._rng.integers(3))
+        a, b = self._PAIRS[label]
+        mix = float(self._rng.random())
+        signal = mix * self._waves[a] + (1.0 - mix) * self._waves[b]
+        signal = signal + self._rng.normal(0.0, 1.0, size=_N_POSITIONS)
+        if self._add_noise:
+            noise = self._rng.normal(0.0, 1.0, size=19)
+            signal = np.concatenate([signal, noise])
+        return Instance(x=signal, y=label)

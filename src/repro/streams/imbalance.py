@@ -1,0 +1,242 @@
+"""Multi-class imbalance control for data streams.
+
+The paper's three scenarios (Section IV) all involve a *dynamic imbalance
+ratio* and, in Scenarios 2-3, *changing class roles* (minority classes become
+majority and vice versa).  This module provides:
+
+* :class:`ImbalanceProfile` implementations that map a stream position ``t``
+  to a vector of class priors — static skew, oscillating skew, and role
+  switching;
+* :class:`ImbalancedStream`, a wrapper that re-samples any base stream so the
+  emitted class frequencies follow the requested priors.  Re-sampling uses a
+  per-class buffer so no base instances are discarded unnecessarily.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+from repro.streams.base import DataStream, Instance, StreamSchema
+
+__all__ = [
+    "ImbalanceProfile",
+    "StaticImbalance",
+    "DynamicImbalance",
+    "RoleSwitchingImbalance",
+    "ImbalancedStream",
+    "geometric_priors",
+]
+
+_MAX_BUFFER_FILL_DRAWS = 20_000
+
+
+def geometric_priors(n_classes: int, imbalance_ratio: float) -> np.ndarray:
+    """Class priors decaying geometrically so that ``max/min == imbalance_ratio``.
+
+    Class 0 is the largest (majority) class and class ``n_classes - 1`` the
+    smallest.  ``imbalance_ratio=1`` yields a balanced distribution.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    if imbalance_ratio < 1.0:
+        raise ValueError("imbalance_ratio must be >= 1")
+    decay = imbalance_ratio ** (-1.0 / (n_classes - 1))
+    priors = decay ** np.arange(n_classes, dtype=np.float64)
+    return priors / priors.sum()
+
+
+class ImbalanceProfile(abc.ABC):
+    """Maps a stream position to the target class-prior vector."""
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self._n_classes = n_classes
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @abc.abstractmethod
+    def priors(self, position: int) -> np.ndarray:
+        """Return the class priors in effect at ``position`` (sums to 1)."""
+
+    def imbalance_ratio(self, position: int) -> float:
+        """Ratio between the largest and the smallest class prior."""
+        priors = self.priors(position)
+        return float(priors.max() / priors.min())
+
+
+class StaticImbalance(ImbalanceProfile):
+    """A fixed skew: the imbalance ratio never changes."""
+
+    def __init__(self, n_classes: int, imbalance_ratio: float) -> None:
+        super().__init__(n_classes)
+        self._priors = geometric_priors(n_classes, imbalance_ratio)
+
+    def priors(self, position: int) -> np.ndarray:
+        return self._priors.copy()
+
+
+class DynamicImbalance(ImbalanceProfile):
+    """An imbalance ratio that oscillates between two extremes over time.
+
+    The instantaneous ratio follows a raised cosine between ``min_ratio`` and
+    ``max_ratio`` with the given ``period``, so the skew both increases and
+    decreases during stream processing — the behaviour the paper requires of
+    its artificial benchmarks.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        min_ratio: float,
+        max_ratio: float,
+        period: int,
+        phase: float = 0.0,
+    ) -> None:
+        super().__init__(n_classes)
+        if min_ratio < 1.0 or max_ratio < min_ratio:
+            raise ValueError("require 1 <= min_ratio <= max_ratio")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._min_ratio = min_ratio
+        self._max_ratio = max_ratio
+        self._period = period
+        self._phase = phase
+
+    def current_ratio(self, position: int) -> float:
+        angle = 2.0 * np.pi * position / self._period + self._phase
+        blend = 0.5 * (1.0 - np.cos(angle))
+        return self._min_ratio + blend * (self._max_ratio - self._min_ratio)
+
+    def priors(self, position: int) -> np.ndarray:
+        return geometric_priors(self.n_classes, self.current_ratio(position))
+
+
+class RoleSwitchingImbalance(ImbalanceProfile):
+    """Dynamic skew whose class roles rotate every ``switch_period`` instances.
+
+    On top of an oscillating imbalance ratio, the assignment of priors to
+    classes is cyclically rotated, so the class that used to be the largest
+    becomes progressively smaller and minority classes take over the majority
+    role (Scenario 2/3 in the paper's taxonomy).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        min_ratio: float,
+        max_ratio: float,
+        period: int,
+        switch_period: int,
+    ) -> None:
+        super().__init__(n_classes)
+        if switch_period <= 0:
+            raise ValueError("switch_period must be positive")
+        self._dynamic = DynamicImbalance(n_classes, min_ratio, max_ratio, period)
+        self._switch_period = switch_period
+
+    def role_rotation(self, position: int) -> int:
+        """Number of positions the prior vector is rotated at ``position``."""
+        return (position // self._switch_period) % self.n_classes
+
+    def priors(self, position: int) -> np.ndarray:
+        base = self._dynamic.priors(position)
+        return np.roll(base, self.role_rotation(position))
+
+
+class ImbalancedStream(DataStream):
+    """Re-sample a base stream to follow an :class:`ImbalanceProfile`.
+
+    At every step the target class is drawn from the profile's current priors
+    and an instance of that class is taken either from a per-class buffer of
+    recently seen base instances or by drawing new base instances (buffering
+    the ones of other classes).  Buffers are intentionally small and consumed
+    newest-first so that emitted instances always reflect the *current* state
+    of the base stream — crucial when the base stream drifts, otherwise rare
+    classes would keep replaying stale pre-drift instances long after the
+    drift.  If the base stream fails to produce the requested class within a
+    bounded number of draws, the most available class is emitted instead —
+    this keeps the wrapper robust to degenerate generators while preserving
+    the requested skew in all practical cases.
+    """
+
+    def __init__(
+        self,
+        base: DataStream,
+        profile: ImbalanceProfile,
+        seed: int | None = None,
+        max_buffer_per_class: int = 32,
+    ) -> None:
+        if profile.n_classes != base.n_classes:
+            raise ValueError("profile and base stream disagree on n_classes")
+        schema = StreamSchema(
+            n_features=base.n_features,
+            n_classes=base.n_classes,
+            name=f"{base.name}-imbalanced",
+        )
+        super().__init__(schema, seed)
+        self._base = base
+        self._profile = profile
+        self._buffers: list[Deque[Instance]] = [
+            deque(maxlen=max_buffer_per_class) for _ in range(base.n_classes)
+        ]
+
+    @property
+    def profile(self) -> ImbalanceProfile:
+        return self._profile
+
+    @property
+    def drift_points(self) -> list[int]:
+        """Propagate ground-truth drift positions from the wrapped stream."""
+        return list(getattr(self._base, "drift_points", []))
+
+    def set_concept(self, concept: int) -> None:
+        """Forward a concept switch to the wrapped generator.
+
+        Buffered instances belong to the previous concept and are discarded so
+        the switch takes effect immediately in the emitted stream.  This lets
+        drift wrappers (e.g. :class:`~repro.streams.drift.ConceptScheduleStream`)
+        be applied *on top of* an imbalanced stream, so that drift positions
+        are expressed in emitted-instance coordinates.
+        """
+        if not hasattr(self._base, "set_concept"):
+            raise TypeError("wrapped stream does not support set_concept")
+        self._base.set_concept(concept)
+        for buffer in self._buffers:
+            buffer.clear()
+
+    def restart(self) -> None:
+        super().restart()
+        self._base.restart()
+        for buffer in self._buffers:
+            buffer.clear()
+
+    def _draw_from_base(self, wanted: int) -> Instance | None:
+        for _ in range(_MAX_BUFFER_FILL_DRAWS):
+            instance = self._base.next_instance()
+            if instance.y == wanted:
+                return instance
+            self._buffers[instance.y].append(instance)
+        return None
+
+    def _generate(self) -> Instance:
+        priors = self._profile.priors(self._position)
+        wanted = int(self._rng.choice(self.n_classes, p=priors))
+        if self._buffers[wanted]:
+            return self._buffers[wanted].pop()  # newest first: stay current
+        instance = self._draw_from_base(wanted)
+        if instance is not None:
+            return instance
+        # Fallback: emit from the fullest buffer to keep the stream flowing.
+        sizes = [len(buffer) for buffer in self._buffers]
+        best = int(np.argmax(sizes))
+        if sizes[best] == 0:
+            # Extremely degenerate base stream; emit whatever it produces.
+            return self._base.next_instance()
+        return self._buffers[best].pop()

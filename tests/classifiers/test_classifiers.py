@@ -1,0 +1,223 @@
+"""Unit tests for all streaming classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    CostSensitivePerceptronTree,
+    GaussianNaiveBayes,
+    MajorityClassClassifier,
+    NoChangeClassifier,
+    OnlinePerceptron,
+)
+
+CLASSIFIER_FACTORIES = {
+    "majority": lambda f, c: MajorityClassClassifier(f, c),
+    "no_change": lambda f, c: NoChangeClassifier(f, c),
+    "naive_bayes": lambda f, c: GaussianNaiveBayes(f, c),
+    "perceptron": lambda f, c: OnlinePerceptron(f, c, seed=0),
+    "perceptron_tree": lambda f, c: CostSensitivePerceptronTree(
+        f, c, grace_period=50, seed=0
+    ),
+}
+
+LEARNING_FACTORIES = {
+    name: factory
+    for name, factory in CLASSIFIER_FACTORIES.items()
+    if name in ("naive_bayes", "perceptron", "perceptron_tree")
+}
+
+
+@pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+class TestClassifierContract:
+    def test_predict_proba_is_distribution(self, name, labelled_batch):
+        X, y = labelled_batch
+        clf = CLASSIFIER_FACTORIES[name](X.shape[1], 3)
+        for row, label in zip(X[:20], y[:20]):
+            clf.partial_fit(row, int(label))
+        proba = clf.predict_proba(X[0])
+        assert proba.shape == (3,)
+        assert proba.sum() == pytest.approx(1.0)
+        assert np.all(proba >= 0.0)
+
+    def test_predict_matches_argmax(self, name, labelled_batch):
+        X, y = labelled_batch
+        clf = CLASSIFIER_FACTORIES[name](X.shape[1], 3)
+        for row, label in zip(X[:30], y[:30]):
+            clf.partial_fit(row, int(label))
+        assert clf.predict(X[0]) == int(np.argmax(clf.predict_proba(X[0])))
+
+    def test_reset_restores_initial_behaviour(self, name, labelled_batch):
+        X, y = labelled_batch
+        clf = CLASSIFIER_FACTORIES[name](X.shape[1], 3)
+        for row, label in zip(X, y):
+            clf.partial_fit(row, int(label))
+        clf.reset()
+        fresh = CLASSIFIER_FACTORIES[name](X.shape[1], 3)
+        np.testing.assert_allclose(
+            clf.predict_proba(X[0]), fresh.predict_proba(X[0]), atol=1e-9
+        )
+
+    def test_invalid_construction_rejected(self, name):
+        with pytest.raises(ValueError):
+            CLASSIFIER_FACTORIES[name](0, 3)
+        with pytest.raises(ValueError):
+            CLASSIFIER_FACTORIES[name](4, 1)
+
+
+@pytest.mark.parametrize("name", sorted(LEARNING_FACTORIES))
+class TestClassifierLearning:
+    def test_learns_separable_problem(self, name, labelled_batch):
+        X, y = labelled_batch
+        clf = LEARNING_FACTORIES[name](X.shape[1], 3)
+        for _ in range(5):
+            for row, label in zip(X, y):
+                clf.partial_fit(row, int(label))
+        accuracy = float(np.mean([clf.predict(row) == label for row, label in zip(X, y)]))
+        assert accuracy > 0.85, f"{name} accuracy {accuracy:.2f}"
+
+    def test_beats_majority_on_balanced_data(self, name, labelled_batch):
+        X, y = labelled_batch
+        clf = LEARNING_FACTORIES[name](X.shape[1], 3)
+        majority = MajorityClassClassifier(X.shape[1], 3)
+        for row, label in zip(X, y):
+            clf.partial_fit(row, int(label))
+            majority.partial_fit(row, int(label))
+        clf_acc = float(np.mean([clf.predict(r) == t for r, t in zip(X, y)]))
+        maj_acc = float(np.mean([majority.predict(r) == t for r, t in zip(X, y)]))
+        assert clf_acc > maj_acc
+
+
+class TestMajorityAndNoChange:
+    def test_majority_predicts_most_frequent(self):
+        clf = MajorityClassClassifier(2, 3)
+        for label in [0, 1, 1, 1, 2]:
+            clf.partial_fit(np.zeros(2), label)
+        assert clf.predict(np.zeros(2)) == 1
+
+    def test_majority_uniform_before_training(self):
+        clf = MajorityClassClassifier(2, 4)
+        np.testing.assert_allclose(clf.predict_proba(np.zeros(2)), 0.25)
+
+    def test_no_change_repeats_last_label(self):
+        clf = NoChangeClassifier(2, 3)
+        clf.partial_fit(np.zeros(2), 2)
+        assert clf.predict(np.ones(2)) == 2
+
+
+class TestOnlinePerceptron:
+    def test_cost_sensitive_boosts_minority_updates(self):
+        clf = OnlinePerceptron(2, 2, cost_sensitive=True, seed=0)
+        for _ in range(200):
+            clf.partial_fit(np.array([1.0, 0.0]), 0)
+        for _ in range(10):
+            clf.partial_fit(np.array([0.0, 1.0]), 1)
+        assert clf._class_weight(1) > clf._class_weight(0)
+
+    def test_cost_insensitive_weights_are_one(self):
+        clf = OnlinePerceptron(2, 2, cost_sensitive=False, seed=0)
+        clf.partial_fit(np.zeros(2), 0)
+        assert clf._class_weight(0) == 1.0
+        assert clf._class_weight(1) == 1.0
+
+    def test_class_counts_tracked(self):
+        clf = OnlinePerceptron(2, 3, seed=0)
+        for label in [0, 0, 1, 2, 2, 2]:
+            clf.partial_fit(np.zeros(2), label)
+        np.testing.assert_allclose(clf.class_counts, [2.0, 1.0, 3.0])
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            OnlinePerceptron(2, 2, learning_rate=0.0)
+
+    def test_minority_recall_better_with_cost_sensitivity(self, rng):
+        """On a 20:1 imbalanced problem the cost-sensitive variant should
+        recall the minority class at least as well as the plain one."""
+
+        def run(cost_sensitive):
+            clf = OnlinePerceptron(2, 2, cost_sensitive=cost_sensitive, seed=1)
+            local_rng = np.random.default_rng(7)
+            hits, total = 0, 0
+            for _ in range(4000):
+                if local_rng.random() < 0.95:
+                    x = local_rng.normal([0.0, 0.0], 0.3)
+                    label = 0
+                else:
+                    x = local_rng.normal([1.5, 1.5], 0.3)
+                    label = 1
+                if label == 1:
+                    total += 1
+                    hits += int(clf.predict(x) == 1)
+                clf.partial_fit(x, label)
+            return hits / max(total, 1)
+
+        assert run(True) >= run(False) - 0.05
+
+
+class TestGaussianNaiveBayes:
+    def test_handles_unseen_class_gracefully(self):
+        clf = GaussianNaiveBayes(2, 3)
+        clf.partial_fit(np.array([0.0, 0.0]), 0)
+        clf.partial_fit(np.array([1.0, 1.0]), 1)
+        proba = clf.predict_proba(np.array([0.5, 0.5]))
+        assert np.all(np.isfinite(proba))
+        assert proba[2] < 0.5
+
+    def test_weighted_updates(self):
+        clf = GaussianNaiveBayes(1, 2)
+        clf.partial_fit(np.array([1.0]), 0, weight=10.0)
+        clf.partial_fit(np.array([5.0]), 0, weight=1.0)
+        # The heavily weighted observation dominates the class mean.
+        assert clf._means[0, 0] < 3.0
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(2, 2, prior_smoothing=-1.0)
+
+
+class TestCostSensitivePerceptronTree:
+    def test_grows_tree_on_separable_data(self, labelled_batch):
+        X, y = labelled_batch
+        clf = CostSensitivePerceptronTree(
+            X.shape[1], 3, grace_period=30, split_threshold=0.5, seed=0
+        )
+        for _ in range(3):
+            for row, label in zip(X, y):
+                clf.partial_fit(row, int(label))
+        assert clf.n_splits >= 1
+        assert clf.n_leaves == clf.n_splits + 1
+
+    def test_depth_limit_respected(self, labelled_batch):
+        X, y = labelled_batch
+        clf = CostSensitivePerceptronTree(
+            X.shape[1], 3, grace_period=20, split_threshold=0.1, max_depth=1, seed=0
+        )
+        for _ in range(5):
+            for row, label in zip(X, y):
+                clf.partial_fit(row, int(label))
+        assert clf.n_leaves <= 2
+
+    def test_reset_collapses_tree(self, labelled_batch):
+        X, y = labelled_batch
+        clf = CostSensitivePerceptronTree(
+            X.shape[1], 3, grace_period=30, split_threshold=0.5, seed=0
+        )
+        for row, label in zip(X, y):
+            clf.partial_fit(row, int(label))
+        clf.reset()
+        assert clf.n_leaves == 1
+        assert clf.n_splits == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CostSensitivePerceptronTree(2, 2, grace_period=5)
+        with pytest.raises(ValueError):
+            CostSensitivePerceptronTree(2, 2, max_depth=0)
+
+    def test_no_split_on_inseparable_noise(self, rng):
+        clf = CostSensitivePerceptronTree(
+            4, 2, grace_period=50, split_threshold=2.5, seed=0
+        )
+        for _ in range(400):
+            clf.partial_fit(rng.random(4), int(rng.integers(2)))
+        assert clf.n_splits == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the class-balanced (effective number of samples) loss."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import (
+    ClassBalancedWeighter,
+    class_balanced_weights,
+    effective_number,
+)
+
+
+class TestEffectiveNumber:
+    def test_zero_beta_gives_indicator(self):
+        counts = np.array([0, 1, 100])
+        np.testing.assert_allclose(effective_number(counts, 0.0), [0.0, 1.0, 1.0])
+
+    def test_beta_close_to_one_approaches_counts(self):
+        counts = np.array([10.0, 100.0])
+        effective = effective_number(counts, 0.99999)
+        np.testing.assert_allclose(effective, counts, rtol=0.01)
+
+    def test_monotone_in_counts(self):
+        counts = np.array([1.0, 5.0, 50.0, 500.0])
+        effective = effective_number(counts, 0.99)
+        assert np.all(np.diff(effective) > 0)
+
+    def test_bounded_by_asymptote(self):
+        effective = effective_number(np.array([1e9]), 0.99)
+        assert effective[0] <= 1.0 / (1.0 - 0.99) + 1e-9
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            effective_number(np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            effective_number(np.array([1.0]), -0.1)
+
+
+class TestClassBalancedWeights:
+    def test_minority_gets_larger_weight(self):
+        counts = np.array([1000.0, 10.0])
+        weights = class_balanced_weights(counts, 0.999)
+        assert weights[1] > weights[0]
+
+    def test_normalised_to_unit_mean_over_observed(self):
+        counts = np.array([500.0, 50.0, 5.0])
+        weights = class_balanced_weights(counts, 0.999)
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_unseen_class_gets_max_observed_weight(self):
+        counts = np.array([100.0, 10.0, 0.0])
+        weights = class_balanced_weights(counts, 0.99, normalise=False)
+        assert weights[2] == pytest.approx(weights[:2].max())
+
+    def test_all_unseen_defaults_to_ones(self):
+        weights = class_balanced_weights(np.zeros(3), 0.99)
+        np.testing.assert_allclose(weights, 1.0)
+
+    def test_balanced_counts_give_equal_weights(self):
+        weights = class_balanced_weights(np.array([50.0, 50.0, 50.0]), 0.999)
+        np.testing.assert_allclose(weights, 1.0)
+
+
+class TestClassBalancedWeighter:
+    def test_observe_accumulates_counts(self):
+        weighter = ClassBalancedWeighter(3, beta=0.99)
+        weighter.observe(np.array([0, 0, 1, 2, 0]))
+        np.testing.assert_allclose(weighter.counts, [3.0, 1.0, 1.0])
+
+    def test_instance_weights_follow_imbalance(self):
+        weighter = ClassBalancedWeighter(2, beta=0.999)
+        weighter.observe(np.array([0] * 900 + [1] * 10))
+        weights = weighter.instance_weights(np.array([0, 1]))
+        assert weights[1] / weights[0] > 5.0
+
+    def test_decay_forgets_old_roles(self):
+        weighter = ClassBalancedWeighter(2, beta=0.999, decay=0.9)
+        weighter.observe(np.array([0] * 500))
+        counts_after_flood = weighter.counts[0]
+        for _ in range(100):
+            weighter.observe(np.array([1]))
+        assert weighter.counts[0] < counts_after_flood * 0.01
+
+    def test_label_out_of_range_rejected(self):
+        weighter = ClassBalancedWeighter(2)
+        with pytest.raises(ValueError):
+            weighter.observe(np.array([2]))
+
+    def test_reset(self):
+        weighter = ClassBalancedWeighter(2)
+        weighter.observe(np.array([0, 1, 1]))
+        weighter.reset()
+        np.testing.assert_allclose(weighter.counts, 0.0)
+
+    def test_empty_observation_is_noop(self):
+        weighter = ClassBalancedWeighter(2)
+        weighter.observe(np.array([], dtype=int))
+        np.testing.assert_allclose(weighter.counts, 0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ClassBalancedWeighter(1)
+        with pytest.raises(ValueError):
+            ClassBalancedWeighter(3, beta=1.0)
+        with pytest.raises(ValueError):
+            ClassBalancedWeighter(3, decay=0.0)

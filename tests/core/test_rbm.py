@@ -1,0 +1,143 @@
+"""Unit tests for the skew-insensitive RBM."""
+
+import numpy as np
+import pytest
+
+from repro.core.rbm import RBMConfig, SkewInsensitiveRBM
+
+
+def make_rbm(n_visible=6, n_hidden=4, n_classes=3, **overrides):
+    config = RBMConfig(
+        n_visible=n_visible,
+        n_hidden=n_hidden,
+        n_classes=n_classes,
+        seed=0,
+        **overrides,
+    )
+    return SkewInsensitiveRBM(config)
+
+
+class TestRBMConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBMConfig(n_visible=0, n_hidden=2, n_classes=2)
+        with pytest.raises(ValueError):
+            RBMConfig(n_visible=2, n_hidden=2, n_classes=1)
+        with pytest.raises(ValueError):
+            RBMConfig(n_visible=2, n_hidden=2, n_classes=2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            RBMConfig(n_visible=2, n_hidden=2, n_classes=2, cd_steps=0)
+        with pytest.raises(ValueError):
+            RBMConfig(n_visible=2, n_hidden=2, n_classes=2, momentum=1.0)
+
+
+class TestConditionalProbabilities:
+    def test_hidden_probabilities_in_unit_interval(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        z = np.zeros((X.shape[0], 3))
+        z[np.arange(len(y)), y] = 1.0
+        h = rbm.hidden_probabilities(X, z)
+        assert h.shape == (X.shape[0], 4)
+        assert np.all((h >= 0.0) & (h <= 1.0))
+
+    def test_visible_probabilities_in_unit_interval(self):
+        rbm = make_rbm()
+        h = np.random.default_rng(0).random((10, 4))
+        v = rbm.visible_probabilities(h)
+        assert v.shape == (10, 6)
+        assert np.all((v >= 0.0) & (v <= 1.0))
+
+    def test_class_probabilities_sum_to_one(self):
+        rbm = make_rbm()
+        h = np.random.default_rng(0).random((10, 4))
+        z = rbm.class_probabilities(h)
+        np.testing.assert_allclose(z.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_energy_finite(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        z = np.zeros((X.shape[0], 3))
+        z[np.arange(len(y)), y] = 1.0
+        h = rbm.hidden_probabilities(X, z)
+        energy = rbm.energy(X, h, z)
+        assert energy.shape == (X.shape[0],)
+        assert np.all(np.isfinite(energy))
+
+    def test_extreme_inputs_do_not_overflow(self):
+        rbm = make_rbm()
+        rbm._W[:] = 100.0
+        v = np.ones((2, 6))
+        z = np.zeros((2, 3))
+        z[:, 0] = 1.0
+        h = rbm.hidden_probabilities(v, z)
+        assert np.all(np.isfinite(h))
+
+
+class TestTraining:
+    def test_partial_fit_reduces_reconstruction_error(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1], n_hidden=8, learning_rate=0.2)
+        first = rbm.partial_fit(X, y)
+        for _ in range(60):
+            last = rbm.partial_fit(X, y)
+        assert last < first
+
+    def test_partial_fit_updates_counters(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        rbm.partial_fit(X, y)
+        assert rbm.n_batches_trained == 1
+        assert rbm.class_counts.sum() == pytest.approx(len(y))
+
+    def test_shape_validation(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        with pytest.raises(ValueError):
+            rbm.partial_fit(X[:, :3], y)
+        with pytest.raises(ValueError):
+            rbm.partial_fit(X, y[:-1])
+
+    def test_label_out_of_range_rejected(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        with pytest.raises(ValueError):
+            rbm.partial_fit(X, np.full_like(y, 7))
+
+    def test_training_is_deterministic_given_seed(self, labelled_batch):
+        X, y = labelled_batch
+        rbm_a = make_rbm(n_visible=X.shape[1])
+        rbm_b = make_rbm(n_visible=X.shape[1])
+        for _ in range(5):
+            rbm_a.partial_fit(X, y)
+            rbm_b.partial_fit(X, y)
+        np.testing.assert_allclose(rbm_a.weights["W"], rbm_b.weights["W"])
+
+    def test_weights_property_returns_copies(self):
+        rbm = make_rbm()
+        weights = rbm.weights
+        weights["W"][:] = 99.0
+        assert not np.allclose(rbm.weights["W"], 99.0)
+
+
+class TestInference:
+    def test_reconstruct_shapes(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        x_recon, z_recon = rbm.reconstruct(X, y)
+        assert x_recon.shape == X.shape
+        assert z_recon.shape == (X.shape[0], 3)
+
+    def test_predict_proba_valid_distribution(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1])
+        proba = rbm.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_learns_simple_classification(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = make_rbm(n_visible=X.shape[1], n_hidden=12, learning_rate=0.2)
+        for _ in range(200):
+            rbm.partial_fit(X, y)
+        accuracy = float(np.mean(rbm.predict(X) == y))
+        assert accuracy > 0.5

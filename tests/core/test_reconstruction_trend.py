@@ -1,0 +1,139 @@
+"""Unit tests for per-class reconstruction error and the trend tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.rbm import RBMConfig, SkewInsensitiveRBM
+from repro.core.reconstruction import (
+    instance_reconstruction_errors,
+    per_class_reconstruction_error,
+)
+from repro.core.trend import TrendTracker
+
+
+def trained_rbm(X, y, n_classes=3, epochs=100):
+    rbm = SkewInsensitiveRBM(
+        RBMConfig(
+            n_visible=X.shape[1],
+            n_hidden=8,
+            n_classes=n_classes,
+            learning_rate=0.2,
+            seed=1,
+        )
+    )
+    for _ in range(epochs):
+        rbm.partial_fit(X, y)
+    return rbm
+
+
+class TestReconstructionError:
+    def test_errors_non_negative_and_finite(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = trained_rbm(X, y, epochs=10)
+        errors = instance_reconstruction_errors(rbm, X, y)
+        assert errors.shape == (X.shape[0],)
+        assert np.all(errors >= 0.0)
+        assert np.all(np.isfinite(errors))
+
+    def test_training_reduces_reconstruction_error(self, labelled_batch):
+        X, y = labelled_batch
+        fresh = trained_rbm(X, y, epochs=1)
+        trained = trained_rbm(X, y, epochs=150)
+        assert (
+            instance_reconstruction_errors(trained, X, y).mean()
+            < instance_reconstruction_errors(fresh, X, y).mean()
+        )
+
+    def test_unseen_distribution_has_higher_error(self, labelled_batch, rng):
+        X, y = labelled_batch
+        rbm = trained_rbm(X, y, epochs=150)
+        familiar = instance_reconstruction_errors(rbm, X, y).mean()
+        shifted = np.clip(1.0 - X, 0.0, 1.0)  # mirror of the training data
+        novel = instance_reconstruction_errors(rbm, shifted, y).mean()
+        assert novel > familiar
+
+    def test_per_class_average_matches_manual(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = trained_rbm(X, y, epochs=20)
+        per_class, counts = per_class_reconstruction_error(rbm, X, y, 3)
+        errors = instance_reconstruction_errors(rbm, X, y)
+        for label in range(3):
+            mask = y == label
+            assert counts[label] == mask.sum()
+            assert per_class[label] == pytest.approx(errors[mask].mean())
+
+    def test_absent_class_reported_as_nan(self, labelled_batch):
+        X, y = labelled_batch
+        rbm = trained_rbm(X, y, epochs=5)
+        mask = y != 2
+        per_class, counts = per_class_reconstruction_error(rbm, X[mask], y[mask], 3)
+        assert np.isnan(per_class[2])
+        assert counts[2] == 0
+
+
+class TestTrendTracker:
+    def test_positive_slope_for_increasing_series(self):
+        tracker = TrendTracker()
+        slope = 0.0
+        for value in np.linspace(0.0, 10.0, 50):
+            slope = tracker.update(float(value))
+        assert slope > 0.0
+
+    def test_negative_slope_for_decreasing_series(self):
+        tracker = TrendTracker()
+        slope = 0.0
+        for value in np.linspace(10.0, 0.0, 50):
+            slope = tracker.update(float(value))
+        assert slope < 0.0
+
+    def test_near_zero_slope_for_constant_series(self):
+        tracker = TrendTracker()
+        slope = 0.0
+        for _ in range(50):
+            slope = tracker.update(5.0)
+        assert slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_slope_recovered(self):
+        tracker = TrendTracker(max_window=20, min_window=20)
+        slope = 0.0
+        for t in range(20):
+            slope = tracker.update(3.0 * t + 1.0)
+        assert slope == pytest.approx(3.0, rel=1e-6)
+
+    def test_window_size_bounded(self):
+        tracker = TrendTracker(max_window=30)
+        for value in np.random.default_rng(0).random(200):
+            tracker.update(float(value))
+        assert tracker.window_size <= 30
+        assert len(tracker.value_history) <= 30
+
+    def test_trend_history_recorded(self):
+        tracker = TrendTracker()
+        for value in range(10):
+            tracker.update(float(value))
+        assert len(tracker.trend_history) == 10
+        assert tracker.n_updates == 10
+
+    def test_reset_clears_state(self):
+        tracker = TrendTracker()
+        for value in range(10):
+            tracker.update(float(value))
+        tracker.reset()
+        assert tracker.n_updates == 0
+        assert tracker.trend_history == []
+
+    def test_slope_reacts_to_level_shift(self):
+        tracker = TrendTracker(max_window=40)
+        for _ in range(40):
+            tracker.update(1.0)
+        stable_slope = tracker.trend_history[-1]
+        for _ in range(10):
+            tracker.update(5.0)
+        shifted_slope = tracker.trend_history[-1]
+        assert shifted_slope > stable_slope
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TrendTracker(min_window=1)
+        with pytest.raises(ValueError):
+            TrendTracker(max_window=2, min_window=10)

@@ -1,0 +1,125 @@
+"""Unit tests for the detector base classes and the uniform step() API."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import (
+    ClassConditionalDetector,
+    DriftDetector,
+    ErrorRateDetector,
+    InstanceDetector,
+)
+
+
+class _AlwaysDriftAfter(ErrorRateDetector):
+    """Toy detector signalling a drift at a fixed observation count."""
+
+    def __init__(self, at: int) -> None:
+        super().__init__()
+        self._at = at
+        self._count = 0
+
+    def add_element(self, value: float) -> None:
+        self._count += 1
+        if self._count == self._at:
+            self._in_drift = True
+
+
+class _RecallDrop(ClassConditionalDetector):
+    """Toy class-aware detector flagging class 1 after ten mistakes on it."""
+
+    def __init__(self, n_classes: int) -> None:
+        super().__init__(n_classes)
+        self._misses = 0
+
+    def add_result(self, y_true: int, y_pred: int) -> None:
+        if y_true == 1 and y_pred != 1:
+            self._misses += 1
+            if self._misses == 10:
+                self._in_drift = True
+                self._drifted_classes = {1}
+
+
+class _CountingInstanceDetector(InstanceDetector):
+    def __init__(self) -> None:
+        super().__init__(n_features=3, n_classes=2)
+        self.seen = 0
+
+    def add_instance(self, x: np.ndarray, y: int) -> None:
+        self.seen += 1
+
+
+class TestErrorRateDetector:
+    def test_step_translates_prediction_to_error(self):
+        detector = _AlwaysDriftAfter(at=5)
+        x = np.zeros(2)
+        for i in range(4):
+            assert detector.step(x, 0, 0) is False
+        assert detector.step(x, 0, 1) is True
+        assert detector.in_drift
+
+    def test_detections_record_positions(self):
+        detector = _AlwaysDriftAfter(at=3)
+        x = np.zeros(2)
+        for _ in range(6):
+            detector.step(x, 0, 1)
+        assert detector.detections == [3]
+        assert detector.n_observations == 6
+
+    def test_drift_flag_clears_next_step(self):
+        detector = _AlwaysDriftAfter(at=2)
+        x = np.zeros(2)
+        detector.step(x, 0, 1)
+        detector.step(x, 0, 1)
+        assert detector.in_drift
+        detector.step(x, 0, 1)
+        assert not detector.in_drift
+
+    def test_reset_clears_bookkeeping(self):
+        detector = _AlwaysDriftAfter(at=1)
+        detector.step(np.zeros(2), 0, 1)
+        detector.reset()
+        assert detector.detections == []
+        assert detector.n_observations == 0
+        assert not detector.in_drift
+
+    def test_base_warm_start_is_noop(self):
+        detector = _AlwaysDriftAfter(at=1)
+        detector.warm_start(np.zeros((5, 2)), np.zeros(5, dtype=int))
+        assert detector.n_observations == 0
+
+
+class TestClassConditionalDetector:
+    def test_drifted_classes_reported(self):
+        detector = _RecallDrop(n_classes=3)
+        x = np.zeros(2)
+        for _ in range(9):
+            detector.step(x, 1, 0)
+        assert not detector.in_drift
+        detector.step(x, 1, 0)
+        assert detector.in_drift
+        assert detector.drifted_classes == {1}
+
+    def test_drifted_classes_cleared_after_next_step(self):
+        detector = _RecallDrop(n_classes=3)
+        x = np.zeros(2)
+        for _ in range(10):
+            detector.step(x, 1, 0)
+        detector.step(x, 0, 0)
+        assert detector.drifted_classes is None
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            _RecallDrop(n_classes=1)
+
+
+class TestInstanceDetector:
+    def test_step_forwards_instances(self):
+        detector = _CountingInstanceDetector()
+        detector.step(np.ones(3), 1, 0)
+        detector.step(np.ones(3), 0, 0)
+        assert detector.seen == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            InstanceDetector.__init__(DriftDetector.__new__(_CountingInstanceDetector), 0, 2)

@@ -1,0 +1,119 @@
+"""Unit tests for the imbalance-aware baselines: PerfSim and DDM-OCI."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import DDM_OCI, PerfSim
+
+
+def feed_results(detector, pairs):
+    """Feed (y_true, y_pred) pairs; return positions where drifts fired."""
+    alarms = []
+    x = np.zeros(1)
+    for index, (y_true, y_pred) in enumerate(pairs):
+        if detector.step(x, y_true, y_pred):
+            alarms.append(index)
+    return alarms
+
+
+def make_prediction_stream(n, recalls, n_classes, seed=0, priors=None):
+    """Simulate predictions where class k is recalled with probability recalls[k]."""
+    rng = np.random.default_rng(seed)
+    priors = np.asarray(priors if priors is not None else [1.0 / n_classes] * n_classes)
+    priors = priors / priors.sum()
+    pairs = []
+    for _ in range(n):
+        y_true = int(rng.choice(n_classes, p=priors))
+        if rng.random() < recalls[y_true]:
+            y_pred = y_true
+        else:
+            others = [c for c in range(n_classes) if c != y_true]
+            y_pred = int(rng.choice(others))
+        pairs.append((y_true, y_pred))
+    return pairs
+
+
+class TestPerfSim:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PerfSim(n_classes=1)
+        with pytest.raises(ValueError):
+            PerfSim(n_classes=3, batch_size=5)
+        with pytest.raises(ValueError):
+            PerfSim(n_classes=3, lambda_=1.5)
+
+    def test_quiet_on_stable_confusion_matrix(self):
+        detector = PerfSim(n_classes=3, batch_size=200, lambda_=0.2)
+        pairs = make_prediction_stream(4000, [0.9, 0.8, 0.85], 3, seed=1)
+        assert len(feed_results(detector, pairs)) <= 1
+
+    def test_detects_global_performance_collapse(self):
+        detector = PerfSim(n_classes=3, batch_size=200, lambda_=0.2)
+        stable = make_prediction_stream(2000, [0.9, 0.9, 0.9], 3, seed=2)
+        collapsed = make_prediction_stream(2000, [0.2, 0.2, 0.2], 3, seed=3)
+        alarms = feed_results(detector, stable + collapsed)
+        assert any(alarm >= 2000 for alarm in alarms)
+
+    def test_blames_changed_classes(self):
+        detector = PerfSim(n_classes=4, batch_size=250, lambda_=0.15)
+        stable = make_prediction_stream(2000, [0.9] * 4, 4, seed=4)
+        # Only class 3 collapses.
+        local = make_prediction_stream(2000, [0.9, 0.9, 0.9, 0.05], 4, seed=5)
+        x = np.zeros(1)
+        blamed: set[int] = set()
+        for y_true, y_pred in stable + local:
+            if detector.step(x, y_true, y_pred):
+                blamed |= detector.drifted_classes or set()
+        assert 3 in blamed
+
+    def test_cosine_similarity_bounds(self):
+        a = np.eye(3)
+        b = np.eye(3)
+        assert PerfSim._cosine_similarity(a, b) == pytest.approx(1.0)
+        c = np.zeros((3, 3))
+        assert PerfSim._cosine_similarity(a, c) == pytest.approx(1.0)
+
+
+class TestDDMOCI:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DDM_OCI(n_classes=3, warning_threshold=0.8, drift_threshold=0.9)
+        with pytest.raises(ValueError):
+            DDM_OCI(n_classes=3, decay=1.5)
+
+    def test_recall_estimates_track_truth(self):
+        detector = DDM_OCI(n_classes=2, decay=0.95)
+        pairs = make_prediction_stream(3000, [0.9, 0.3], 2, seed=6)
+        feed_results(detector, pairs)
+        assert detector.class_recall(0) > detector.class_recall(1)
+
+    def test_detects_minority_recall_drop(self):
+        detector = DDM_OCI(n_classes=3, decay=0.98, min_errors=30)
+        priors = [0.8, 0.15, 0.05]
+        stable = make_prediction_stream(4000, [0.9, 0.85, 0.9], 3, seed=7, priors=priors)
+        dropped = make_prediction_stream(4000, [0.9, 0.85, 0.1], 3, seed=8, priors=priors)
+        x = np.zeros(1)
+        blamed = set()
+        alarms = []
+        for index, (y_true, y_pred) in enumerate(stable + dropped):
+            if detector.step(x, y_true, y_pred):
+                alarms.append(index)
+                blamed |= detector.drifted_classes or set()
+        assert any(alarm >= 4000 for alarm in alarms)
+        assert 2 in blamed
+
+    def test_quiet_when_recalls_stable(self):
+        # DDM-OCI is known to be somewhat alarm-prone on noisy recall
+        # trajectories; "quiet" here means a false-alarm rate well below 1%.
+        detector = DDM_OCI(n_classes=3)
+        pairs = make_prediction_stream(5000, [0.85, 0.8, 0.82], 3, seed=9)
+        assert len(feed_results(detector, pairs)) <= 15
+
+    def test_only_affected_class_reset(self):
+        detector = DDM_OCI(n_classes=3, decay=0.98, min_errors=20)
+        priors = [0.4, 0.4, 0.2]
+        stable = make_prediction_stream(3000, [0.9, 0.9, 0.9], 3, seed=10, priors=priors)
+        dropped = make_prediction_stream(3000, [0.9, 0.9, 0.05], 3, seed=11, priors=priors)
+        feed_results(detector, stable + dropped)
+        # Class 0 keeps accumulating observations; class 2 was reset at least once.
+        assert detector._class_counts[0] > detector._class_counts[2]

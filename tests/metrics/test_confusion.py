@@ -1,0 +1,112 @@
+"""Unit tests for the streaming confusion matrix."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.confusion import StreamingConfusionMatrix
+
+
+class TestStreamingConfusionMatrix:
+    def test_counts_accumulate(self):
+        cm = StreamingConfusionMatrix(3)
+        cm.update(0, 0)
+        cm.update(0, 1)
+        cm.update(2, 2)
+        assert cm.total == 3
+        assert cm.matrix[0, 1] == 1.0
+
+    def test_accuracy(self):
+        cm = StreamingConfusionMatrix(2)
+        for pair in [(0, 0), (1, 1), (1, 0), (0, 0)]:
+            cm.update(*pair)
+        assert cm.accuracy() == pytest.approx(0.75)
+
+    def test_recall_per_class(self):
+        cm = StreamingConfusionMatrix(3)
+        for pair in [(0, 0), (0, 0), (0, 1), (1, 1), (1, 0)]:
+            cm.update(*pair)
+        recall = cm.recall_per_class()
+        assert recall[0] == pytest.approx(2.0 / 3.0)
+        assert recall[1] == pytest.approx(0.5)
+        assert np.isnan(recall[2])
+
+    def test_precision_per_class(self):
+        cm = StreamingConfusionMatrix(2)
+        for pair in [(0, 0), (1, 0), (1, 1)]:
+            cm.update(*pair)
+        precision = cm.precision_per_class()
+        assert precision[0] == pytest.approx(0.5)
+        assert precision[1] == pytest.approx(1.0)
+
+    def test_geometric_mean_ignores_unseen_classes(self):
+        cm = StreamingConfusionMatrix(3)
+        for pair in [(0, 0), (1, 1)]:
+            cm.update(*pair)
+        assert cm.geometric_mean() == pytest.approx(1.0)
+
+    def test_geometric_mean_zero_if_class_fully_missed(self):
+        cm = StreamingConfusionMatrix(2)
+        for pair in [(0, 0), (1, 0), (1, 0)]:
+            cm.update(*pair)
+        assert cm.geometric_mean() == 0.0
+
+    def test_geometric_mean_matches_manual_computation(self):
+        cm = StreamingConfusionMatrix(2)
+        # class 0: recall 0.8 (4/5); class 1: recall 0.5 (1/2)
+        for _ in range(4):
+            cm.update(0, 0)
+        cm.update(0, 1)
+        cm.update(1, 1)
+        cm.update(1, 0)
+        assert cm.geometric_mean() == pytest.approx(np.sqrt(0.8 * 0.5))
+
+    def test_kappa_zero_for_random_agreement(self):
+        cm = StreamingConfusionMatrix(2)
+        rng = np.random.default_rng(0)
+        for _ in range(4000):
+            cm.update(int(rng.integers(2)), int(rng.integers(2)))
+        assert abs(cm.kappa()) < 0.07
+
+    def test_kappa_one_for_perfect_agreement(self):
+        cm = StreamingConfusionMatrix(3)
+        for label in [0, 1, 2, 0, 1, 2]:
+            cm.update(label, label)
+        assert cm.kappa() == pytest.approx(1.0)
+
+    def test_sliding_window_forgets_old_predictions(self):
+        cm = StreamingConfusionMatrix(2, window_size=10)
+        for _ in range(10):
+            cm.update(0, 1)  # all wrong
+        for _ in range(10):
+            cm.update(0, 0)  # all right; the wrong ones fall out
+        assert cm.accuracy() == pytest.approx(1.0)
+        assert cm.total == 10
+        assert cm.n_seen == 20
+
+    def test_imbalance_ratio(self):
+        cm = StreamingConfusionMatrix(2)
+        for _ in range(90):
+            cm.update(0, 0)
+        for _ in range(10):
+            cm.update(1, 1)
+        assert cm.imbalance_ratio() == pytest.approx(9.0)
+
+    def test_reset(self):
+        cm = StreamingConfusionMatrix(2, window_size=5)
+        cm.update(0, 0)
+        cm.reset()
+        assert cm.total == 0
+        assert cm.accuracy() == 0.0
+
+    def test_label_validation(self):
+        cm = StreamingConfusionMatrix(2)
+        with pytest.raises(ValueError):
+            cm.update(2, 0)
+        with pytest.raises(ValueError):
+            cm.update(0, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingConfusionMatrix(1)
+        with pytest.raises(ValueError):
+            StreamingConfusionMatrix(3, window_size=0)

@@ -1,0 +1,214 @@
+"""Unit tests for drift composition wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.streams.drift import (
+    ConceptDriftStream,
+    ConceptScheduleStream,
+    LocalDriftStream,
+    RecurringDriftStream,
+    sample_instance_of_class,
+)
+from repro.streams.generators import (
+    MixedGenerator,
+    RandomRBFGenerator,
+    RandomTreeGenerator,
+    SEAGenerator,
+)
+
+
+class TestSampleInstanceOfClass:
+    def test_returns_requested_class(self):
+        stream = RandomRBFGenerator(n_classes=4, n_features=5, seed=0)
+        instance = sample_instance_of_class(stream, 2)
+        assert instance.y == 2
+
+    def test_raises_for_unreachable_class(self):
+        stream = SEAGenerator(n_classes=2, concept=0, noise=0.0, seed=0)
+        # Class index 1 exists, but ask for a quick failure with tiny budget on
+        # a class that never appears by forcing max_tries=1 repeatedly until a
+        # mismatch occurs; easier: request class 1 with max_tries=0-like small.
+        with pytest.raises(RuntimeError):
+            sample_instance_of_class(stream, 1, max_tries=0)
+
+
+class TestConceptDriftStream:
+    def _streams(self):
+        return (
+            MixedGenerator(concept=0, seed=1),
+            MixedGenerator(concept=1, seed=2),
+        )
+
+    def test_sudden_switch_at_position(self):
+        base, drift = self._streams()
+        stream = ConceptDriftStream(base, drift, position=100, kind="sudden", seed=0)
+        stream.take(100)
+        assert stream._new_concept_probability(99) == 0.0
+        assert stream._new_concept_probability(100) == 1.0
+
+    def test_gradual_probability_monotone(self):
+        base, drift = self._streams()
+        stream = ConceptDriftStream(
+            base, drift, position=100, width=100, kind="gradual", seed=0
+        )
+        probabilities = [stream._new_concept_probability(t) for t in range(80, 220, 10)]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[0] == 0.0
+        assert probabilities[-1] == 1.0
+
+    def test_incremental_probability_sigmoidal(self):
+        base, drift = self._streams()
+        stream = ConceptDriftStream(
+            base, drift, position=100, width=100, kind="incremental", seed=0
+        )
+        mid = stream._new_concept_probability(150)
+        assert 0.3 < mid < 0.7
+        assert stream._new_concept_probability(250) == 1.0
+
+    def test_drift_points_recorded(self):
+        base, drift = self._streams()
+        stream = ConceptDriftStream(base, drift, position=500, seed=0)
+        assert stream.drift_points == [500]
+
+    def test_schema_mismatch_rejected(self):
+        base = MixedGenerator(seed=0)
+        other = RandomRBFGenerator(n_classes=2, n_features=7, seed=0)
+        with pytest.raises(ValueError):
+            ConceptDriftStream(base, other, position=10)
+
+    def test_unknown_kind_rejected(self):
+        base, drift = self._streams()
+        with pytest.raises(ValueError):
+            ConceptDriftStream(base, drift, position=10, kind="weird")
+
+    def test_restart_restores_both_sources(self):
+        base, drift = self._streams()
+        stream = ConceptDriftStream(base, drift, position=50, seed=3)
+        first = [(inst.x.copy(), inst.y) for inst in stream.take(80)]
+        stream.restart()
+        second = [(inst.x.copy(), inst.y) for inst in stream.take(80)]
+        for (xa, ya), (xb, yb) in zip(first, second):
+            np.testing.assert_array_equal(xa, xb)
+            assert ya == yb
+
+
+class TestConceptScheduleStream:
+    def test_applies_schedule(self):
+        generator = RandomTreeGenerator(n_classes=3, n_features=4, noise=0.0, seed=1)
+        stream = ConceptScheduleStream(generator, [(0, 0), (200, 5)], seed=0)
+        stream.take(199)
+        assert generator.concept == 0
+        stream.take(2)
+        assert generator.concept == 5
+
+    def test_drift_points_exclude_initial_concept(self):
+        generator = RandomTreeGenerator(n_classes=3, n_features=4, seed=1)
+        stream = ConceptScheduleStream(generator, [(0, 0), (300, 1), (600, 2)])
+        assert stream.drift_points == [300, 600]
+
+    def test_requires_set_concept(self):
+        from repro.streams.base import Instance, ListStream
+
+        plain = ListStream([Instance(x=np.zeros(2), y=0)] * 5)
+        with pytest.raises(TypeError):
+            ConceptScheduleStream(plain, [(0, 0)])
+
+    def test_negative_positions_rejected(self):
+        generator = RandomTreeGenerator(seed=1)
+        with pytest.raises(ValueError):
+            ConceptScheduleStream(generator, [(-5, 0)])
+
+
+class TestRecurringDriftStream:
+    def test_cycles_through_concepts(self):
+        generator = RandomTreeGenerator(n_classes=3, n_features=4, seed=2)
+        stream = RecurringDriftStream(generator, concepts=[0, 1], period=100, seed=0)
+        stream.take(50)
+        assert generator.concept == 0
+        stream.take(100)
+        assert generator.concept == 1
+        stream.take(100)
+        assert generator.concept == 0
+
+    def test_drift_points_follow_period(self):
+        generator = RandomTreeGenerator(n_classes=3, n_features=4, seed=2)
+        stream = RecurringDriftStream(generator, concepts=[0, 1, 2], period=100)
+        stream.take(350)
+        assert stream.drift_points == [100, 200, 300]
+
+    def test_invalid_period(self):
+        generator = RandomTreeGenerator(seed=2)
+        with pytest.raises(ValueError):
+            RecurringDriftStream(generator, concepts=[0, 1], period=0)
+
+    def test_empty_concepts_rejected(self):
+        generator = RandomTreeGenerator(seed=2)
+        with pytest.raises(ValueError):
+            RecurringDriftStream(generator, concepts=[], period=10)
+
+
+class TestLocalDriftStream:
+    def _factory(self, concept: int):
+        return RandomRBFGenerator(
+            n_classes=4, n_features=6, n_centroids=8, concept=concept, seed=11
+        )
+
+    def test_non_drifted_classes_keep_distribution(self):
+        stream = LocalDriftStream(
+            generator_factory=self._factory,
+            old_concept=0,
+            new_concept=1,
+            drifted_classes=[3],
+            position=200,
+            seed=5,
+        )
+        reference = self._factory(0)
+        reference_means = {}
+        for label in range(4):
+            rows = []
+            while len(rows) < 60:
+                inst = reference.next_instance()
+                if inst.y == label:
+                    rows.append(inst.x)
+            reference_means[label] = np.vstack(rows).mean(axis=0)
+
+        stream.take(400)  # move well past the drift point
+        post = {label: [] for label in range(4)}
+        while any(len(v) < 40 for v in post.values()):
+            inst = stream.next_instance()
+            if len(post[inst.y]) < 60:
+                post[inst.y].append(inst.x)
+        # Class 0 (not drifted) should stay close to the old concept mean;
+        # class 3 (drifted) should move away noticeably more.
+        stable_shift = np.linalg.norm(
+            np.vstack(post[0]).mean(axis=0) - reference_means[0]
+        )
+        drifted_shift = np.linalg.norm(
+            np.vstack(post[3]).mean(axis=0) - reference_means[3]
+        )
+        assert drifted_shift > stable_shift
+
+    def test_drifted_classes_property(self):
+        stream = LocalDriftStream(
+            self._factory, 0, 1, drifted_classes=[1, 3], position=10
+        )
+        assert stream.drifted_classes == [1, 3]
+        assert stream.drift_points == [10]
+
+    def test_rejects_empty_drifted_classes(self):
+        with pytest.raises(ValueError):
+            LocalDriftStream(self._factory, 0, 1, drifted_classes=[], position=10)
+
+    def test_rejects_out_of_range_classes(self):
+        with pytest.raises(ValueError):
+            LocalDriftStream(self._factory, 0, 1, drifted_classes=[9], position=10)
+
+    def test_no_drift_before_position(self):
+        stream = LocalDriftStream(
+            self._factory, 0, 1, drifted_classes=[2], position=10_000, seed=1
+        )
+        reference = self._factory(0)
+        for inst, ref in zip(stream.take(50), reference.take(50)):
+            np.testing.assert_array_equal(inst.x, ref.x)
+            assert inst.y == ref.y

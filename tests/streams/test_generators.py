@@ -1,0 +1,292 @@
+"""Unit tests for every synthetic stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    AgrawalGenerator,
+    HyperplaneGenerator,
+    LEDGenerator,
+    MixedGenerator,
+    RandomRBFGenerator,
+    RandomTreeGenerator,
+    SEAGenerator,
+    SineGenerator,
+    StaggerGenerator,
+    WaveformGenerator,
+)
+
+ALL_GENERATORS = [
+    lambda seed: AgrawalGenerator(n_classes=5, n_features=20, seed=seed),
+    lambda seed: HyperplaneGenerator(n_classes=5, n_features=10, seed=seed),
+    lambda seed: RandomRBFGenerator(n_classes=4, n_features=8, seed=seed),
+    lambda seed: RandomTreeGenerator(n_classes=4, n_features=6, seed=seed),
+    lambda seed: SEAGenerator(n_classes=3, seed=seed),
+    lambda seed: SineGenerator(n_classes=2, seed=seed),
+    lambda seed: StaggerGenerator(seed=seed),
+    lambda seed: LEDGenerator(seed=seed),
+    lambda seed: WaveformGenerator(seed=seed),
+    lambda seed: MixedGenerator(seed=seed),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_GENERATORS)
+class TestGeneratorContract:
+    """Properties every generator must satisfy."""
+
+    def test_feature_dimension_matches_schema(self, factory):
+        stream = factory(0)
+        for instance in stream.take(50):
+            assert instance.x.shape == (stream.n_features,)
+
+    def test_labels_within_schema(self, factory):
+        stream = factory(0)
+        labels = {inst.y for inst in stream.take(300)}
+        assert min(labels) >= 0
+        assert max(labels) < stream.n_classes
+
+    def test_deterministic_for_fixed_seed(self, factory):
+        a = factory(42)
+        b = factory(42)
+        for inst_a, inst_b in zip(a.take(40), b.take(40)):
+            np.testing.assert_array_equal(inst_a.x, inst_b.x)
+            assert inst_a.y == inst_b.y
+
+    def test_restart_reproduces_sequence(self, factory):
+        stream = factory(7)
+        first = [(inst.x.copy(), inst.y) for inst in stream.take(30)]
+        stream.restart()
+        second = [(inst.x.copy(), inst.y) for inst in stream.take(30)]
+        for (xa, ya), (xb, yb) in zip(first, second):
+            np.testing.assert_array_equal(xa, xb)
+            assert ya == yb
+
+    def test_finite_values(self, factory):
+        stream = factory(3)
+        for instance in stream.take(100):
+            assert np.all(np.isfinite(instance.x))
+
+
+class TestAgrawal:
+    def test_produces_all_classes_eventually(self):
+        stream = AgrawalGenerator(n_classes=5, n_features=20, seed=1)
+        labels = {inst.y for inst in stream.take(3000)}
+        assert labels == set(range(5))
+
+    def test_concept_switch_changes_labelling(self):
+        base = AgrawalGenerator(n_classes=5, n_features=20, concept=0, seed=5)
+        shifted = AgrawalGenerator(n_classes=5, n_features=20, concept=3, seed=5)
+        base_labels = [inst.y for inst in base.take(500)]
+        shifted_labels = [inst.y for inst in shifted.take(500)]
+        assert base_labels != shifted_labels
+
+    def test_invalid_concept_rejected(self):
+        with pytest.raises(ValueError):
+            AgrawalGenerator(concept=10)
+        stream = AgrawalGenerator(seed=0)
+        with pytest.raises(ValueError):
+            stream.set_concept(-1)
+
+    def test_invalid_perturbation_rejected(self):
+        with pytest.raises(ValueError):
+            AgrawalGenerator(perturbation=1.5)
+
+    def test_respects_requested_dimensionality(self):
+        stream = AgrawalGenerator(n_classes=5, n_features=37, seed=0)
+        assert stream.next_instance().x.shape == (37,)
+
+
+class TestHyperplane:
+    def test_stationary_when_mag_change_zero(self):
+        stream = HyperplaneGenerator(n_classes=3, n_features=5, mag_change=0.0, seed=2)
+        weights_before = stream._weights.copy()
+        stream.take(200)
+        np.testing.assert_array_equal(weights_before, stream._weights)
+
+    def test_weights_move_under_mag_change(self):
+        stream = HyperplaneGenerator(n_classes=3, n_features=5, mag_change=0.01, seed=2)
+        weights_before = stream._weights.copy()
+        stream.take(200)
+        assert not np.allclose(weights_before, stream._weights)
+
+    def test_set_concept_rerandomises_weights(self):
+        stream = HyperplaneGenerator(n_classes=3, n_features=5, seed=2)
+        weights_before = stream._weights.copy()
+        stream.set_concept(5)
+        assert not np.allclose(weights_before, stream._weights)
+
+    def test_noise_bounds_validated(self):
+        with pytest.raises(ValueError):
+            HyperplaneGenerator(noise=1.5)
+
+    def test_features_in_unit_cube(self):
+        stream = HyperplaneGenerator(n_classes=3, n_features=5, seed=0)
+        for instance in stream.take(100):
+            assert np.all(instance.x >= 0.0) and np.all(instance.x <= 1.0)
+
+
+class TestRandomRBF:
+    def test_every_class_has_a_centroid(self):
+        stream = RandomRBFGenerator(n_classes=6, n_features=4, n_centroids=6, seed=1)
+        labels = {inst.y for inst in stream.take(2000)}
+        assert labels == set(range(6))
+
+    def test_rejects_fewer_centroids_than_classes(self):
+        with pytest.raises(ValueError):
+            RandomRBFGenerator(n_classes=5, n_centroids=3)
+
+    def test_set_concept_moves_centroids(self):
+        stream = RandomRBFGenerator(n_classes=3, n_features=4, seed=1)
+        before = stream.centroids_of_class(0)
+        stream.set_concept(9)
+        after = stream.centroids_of_class(0)
+        assert not all(
+            np.allclose(b, a) for b, a in zip(before, after) if b.shape == a.shape
+        ) or len(before) != len(after)
+
+    def test_centroid_speed_moves_centroids(self):
+        stream = RandomRBFGenerator(
+            n_classes=3, n_features=4, centroid_speed=0.01, seed=1
+        )
+        before = [c.centre.copy() for c in stream._centroids]
+        stream.take(300)
+        after = [c.centre for c in stream._centroids]
+        moved = sum(0 if np.allclose(b, a) else 1 for b, a in zip(before, after))
+        assert moved > 0
+
+    def test_features_clipped_to_unit_cube(self):
+        stream = RandomRBFGenerator(n_classes=3, n_features=4, seed=5)
+        for instance in stream.take(200):
+            assert np.all(instance.x >= 0.0) and np.all(instance.x <= 1.0)
+
+
+class TestRandomTree:
+    def test_all_classes_reachable(self):
+        stream = RandomTreeGenerator(n_classes=5, n_features=6, max_depth=7, seed=2)
+        labels = {inst.y for inst in stream.take(4000)}
+        assert labels == set(range(5))
+
+    def test_deterministic_labelling_given_features(self):
+        stream = RandomTreeGenerator(n_classes=3, n_features=4, noise=0.0, seed=1)
+        x = np.array([0.2, 0.6, 0.4, 0.9])
+        assert stream._classify(x) == stream._classify(x)
+
+    def test_set_concept_changes_boundaries(self):
+        stream = RandomTreeGenerator(n_classes=4, n_features=5, noise=0.0, seed=3)
+        points = np.random.default_rng(0).random((300, 5))
+        before = [stream._classify(p) for p in points]
+        stream.set_concept(8)
+        after = [stream._classify(p) for p in points]
+        assert before != after
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RandomTreeGenerator(max_depth=0)
+
+
+class TestSEA:
+    def test_two_class_default_boundary(self):
+        stream = SEAGenerator(n_classes=2, concept=0, noise=0.0, seed=1)
+        for instance in stream.take(300):
+            expected = int(instance.x[0] + instance.x[1] > 10.0)
+            assert instance.y == expected
+
+    def test_concept_changes_threshold(self):
+        a = SEAGenerator(n_classes=2, concept=0, noise=0.0, seed=9)
+        b = SEAGenerator(n_classes=2, concept=3, noise=0.0, seed=9)
+        labels_a = [inst.y for inst in a.take(400)]
+        labels_b = [inst.y for inst in b.take(400)]
+        assert labels_a != labels_b
+
+    def test_invalid_concept(self):
+        with pytest.raises(ValueError):
+            SEAGenerator(concept=4)
+
+    def test_requires_two_features(self):
+        with pytest.raises(ValueError):
+            SEAGenerator(n_features=1)
+
+
+class TestSine:
+    def test_reversed_concept_flips_labels(self):
+        normal = SineGenerator(n_classes=2, concept=0, seed=4)
+        reversed_ = SineGenerator(n_classes=2, concept=2, seed=4)
+        labels_normal = [inst.y for inst in normal.take(300)]
+        labels_reversed = [inst.y for inst in reversed_.take(300)]
+        assert all(a != b for a, b in zip(labels_normal, labels_reversed))
+
+    def test_invalid_concept(self):
+        with pytest.raises(ValueError):
+            SineGenerator(concept=4)
+
+
+class TestStagger:
+    def test_binary_concept_zero(self):
+        stream = StaggerGenerator(concept=0, seed=1)
+        for instance in stream.take(200):
+            is_small = instance.x[0] == 1.0
+            is_red = instance.x[3] == 1.0
+            assert instance.y == int(is_small and is_red)
+
+    def test_multi_class_counts_predicates(self):
+        stream = StaggerGenerator(multi_class=True, seed=1)
+        labels = {inst.y for inst in stream.take(500)}
+        assert labels <= {0, 1, 2, 3}
+        assert len(labels) >= 3
+
+    def test_one_hot_structure(self):
+        stream = StaggerGenerator(seed=0)
+        instance = stream.next_instance()
+        assert instance.x[:3].sum() == 1.0
+        assert instance.x[3:6].sum() == 1.0
+        assert instance.x[6:].sum() == 1.0
+
+
+class TestLED:
+    def test_noiseless_segments_match_digit(self):
+        stream = LEDGenerator(noise_percentage=0.0, n_irrelevant=0, seed=1)
+        from repro.streams.generators.led import _SEGMENTS
+
+        for instance in stream.take(100):
+            np.testing.assert_array_equal(instance.x[:7], _SEGMENTS[instance.y])
+
+    def test_drift_attributes_permute_features(self):
+        stable = LEDGenerator(noise_percentage=0.0, n_irrelevant=5, seed=2)
+        drifted = LEDGenerator(
+            noise_percentage=0.0, n_irrelevant=5, n_drift_attributes=6, seed=2
+        )
+        x_stable = [inst.x for inst in stable.take(50)]
+        x_drifted = [inst.x for inst in drifted.take(50)]
+        assert any(not np.allclose(a, b) for a, b in zip(x_stable, x_drifted))
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            LEDGenerator(noise_percentage=2.0)
+
+    def test_ten_classes(self):
+        stream = LEDGenerator(seed=0)
+        labels = {inst.y for inst in stream.take(500)}
+        assert labels == set(range(10))
+
+
+class TestWaveform:
+    def test_dimensionality_with_and_without_noise(self):
+        assert WaveformGenerator(seed=0).next_instance().x.shape == (21,)
+        assert WaveformGenerator(add_noise_features=True, seed=0).next_instance().x.shape == (40,)
+
+    def test_three_classes(self):
+        stream = WaveformGenerator(seed=1)
+        labels = {inst.y for inst in stream.take(300)}
+        assert labels == {0, 1, 2}
+
+
+class TestMixed:
+    def test_concept_one_reverses_labels(self):
+        a = MixedGenerator(concept=0, seed=3)
+        b = MixedGenerator(concept=1, seed=3)
+        for inst_a, inst_b in zip(a.take(200), b.take(200)):
+            assert inst_a.y == 1 - inst_b.y
+
+    def test_invalid_concept(self):
+        with pytest.raises(ValueError):
+            MixedGenerator(concept=2)

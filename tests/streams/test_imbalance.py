@@ -1,0 +1,150 @@
+"""Unit tests for imbalance profiles and the re-sampling wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import RandomRBFGenerator
+from repro.streams.imbalance import (
+    DynamicImbalance,
+    ImbalancedStream,
+    RoleSwitchingImbalance,
+    StaticImbalance,
+    geometric_priors,
+)
+
+
+class TestGeometricPriors:
+    def test_sum_to_one(self):
+        priors = geometric_priors(5, 100.0)
+        assert priors.sum() == pytest.approx(1.0)
+
+    def test_max_min_ratio_matches_request(self):
+        priors = geometric_priors(7, 50.0)
+        assert priors.max() / priors.min() == pytest.approx(50.0)
+
+    def test_balanced_when_ratio_one(self):
+        priors = geometric_priors(4, 1.0)
+        np.testing.assert_allclose(priors, 0.25)
+
+    def test_monotonically_decreasing(self):
+        priors = geometric_priors(6, 80.0)
+        assert np.all(np.diff(priors) < 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            geometric_priors(1, 10.0)
+        with pytest.raises(ValueError):
+            geometric_priors(3, 0.5)
+
+
+class TestStaticImbalance:
+    def test_priors_constant_over_time(self):
+        profile = StaticImbalance(4, 30.0)
+        np.testing.assert_allclose(profile.priors(0), profile.priors(100_000))
+
+    def test_imbalance_ratio_report(self):
+        profile = StaticImbalance(4, 30.0)
+        assert profile.imbalance_ratio(10) == pytest.approx(30.0)
+
+
+class TestDynamicImbalance:
+    def test_ratio_oscillates_between_bounds(self):
+        profile = DynamicImbalance(5, min_ratio=10.0, max_ratio=100.0, period=1000)
+        ratios = [profile.current_ratio(t) for t in range(0, 2000, 50)]
+        assert min(ratios) == pytest.approx(10.0, abs=1e-6)
+        assert max(ratios) == pytest.approx(100.0, abs=1e-6)
+
+    def test_ratio_changes_over_time(self):
+        profile = DynamicImbalance(5, min_ratio=10.0, max_ratio=100.0, period=1000)
+        assert profile.imbalance_ratio(0) != pytest.approx(profile.imbalance_ratio(500))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicImbalance(3, min_ratio=0.5, max_ratio=10.0, period=100)
+        with pytest.raises(ValueError):
+            DynamicImbalance(3, min_ratio=10.0, max_ratio=5.0, period=100)
+        with pytest.raises(ValueError):
+            DynamicImbalance(3, min_ratio=1.0, max_ratio=5.0, period=0)
+
+
+class TestRoleSwitchingImbalance:
+    def test_rotation_advances_with_switch_period(self):
+        profile = RoleSwitchingImbalance(
+            4, min_ratio=5.0, max_ratio=20.0, period=1000, switch_period=500
+        )
+        assert profile.role_rotation(0) == 0
+        assert profile.role_rotation(500) == 1
+        assert profile.role_rotation(2000) == 0  # wraps around 4 classes
+
+    def test_majority_class_changes_roles(self):
+        profile = RoleSwitchingImbalance(
+            4, min_ratio=5.0, max_ratio=20.0, period=10_000, switch_period=100
+        )
+        majority_before = int(np.argmax(profile.priors(0)))
+        majority_after = int(np.argmax(profile.priors(100)))
+        assert majority_before != majority_after
+
+    def test_priors_still_sum_to_one(self):
+        profile = RoleSwitchingImbalance(
+            5, min_ratio=2.0, max_ratio=50.0, period=500, switch_period=200
+        )
+        for t in (0, 123, 999, 5000):
+            assert profile.priors(t).sum() == pytest.approx(1.0)
+
+    def test_invalid_switch_period(self):
+        with pytest.raises(ValueError):
+            RoleSwitchingImbalance(3, 1.0, 5.0, period=10, switch_period=0)
+
+
+class TestImbalancedStream:
+    def _base(self, seed=0):
+        return RandomRBFGenerator(n_classes=4, n_features=5, n_centroids=8, seed=seed)
+
+    def test_empirical_skew_tracks_profile(self):
+        profile = StaticImbalance(4, 20.0)
+        stream = ImbalancedStream(self._base(), profile, seed=1)
+        labels = np.asarray([inst.y for inst in stream.take(4000)])
+        counts = np.bincount(labels, minlength=4).astype(float)
+        # Majority (class 0) should dominate the smallest class by roughly the
+        # requested factor (allow generous tolerance for sampling noise).
+        assert counts[0] / max(counts[3], 1.0) > 5.0
+
+    def test_schema_preserved(self):
+        stream = ImbalancedStream(self._base(), StaticImbalance(4, 10.0), seed=0)
+        assert stream.n_classes == 4
+        assert stream.n_features == 5
+
+    def test_profile_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ImbalancedStream(self._base(), StaticImbalance(3, 10.0))
+
+    def test_restart_reproduces_sequence(self):
+        stream = ImbalancedStream(self._base(), StaticImbalance(4, 10.0), seed=4)
+        first = [(inst.x.copy(), inst.y) for inst in stream.take(100)]
+        stream.restart()
+        second = [(inst.x.copy(), inst.y) for inst in stream.take(100)]
+        for (xa, ya), (xb, yb) in zip(first, second):
+            np.testing.assert_array_equal(xa, xb)
+            assert ya == yb
+
+    def test_propagates_drift_points(self):
+        from repro.streams.drift import ConceptScheduleStream
+
+        generator = self._base()
+        drifting = ConceptScheduleStream(generator, [(0, 0), (500, 1)])
+        stream = ImbalancedStream(drifting, StaticImbalance(4, 10.0), seed=0)
+        assert stream.drift_points == [500]
+
+    def test_role_switching_profile_changes_majority(self):
+        profile = RoleSwitchingImbalance(
+            4, min_ratio=5.0, max_ratio=20.0, period=4000, switch_period=1000
+        )
+        stream = ImbalancedStream(self._base(), profile, seed=2)
+        first_block = np.bincount(
+            [inst.y for inst in stream.take(900)], minlength=4
+        )
+        stream.take(200)  # cross the switch point
+        second_block = np.bincount(
+            [inst.y for inst in stream.take(900)], minlength=4
+        )
+        assert int(np.argmax(first_block)) != int(np.argmax(second_block))

@@ -1,0 +1,104 @@
+"""Unit tests for the taxonomy scenario builders and artificial benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.streams.scenarios import (
+    ARTIFICIAL_FAMILIES,
+    make_artificial_stream,
+    make_generator,
+    scenario_global_drift,
+    scenario_local_drift,
+    scenario_role_switching,
+)
+
+
+class TestMakeGenerator:
+    @pytest.mark.parametrize("family", sorted(ARTIFICIAL_FAMILIES))
+    def test_builds_each_family(self, family):
+        stream = make_generator(family, n_classes=5, n_features=20, concept=0, seed=0)
+        assert stream.n_classes == 5
+        assert stream.n_features == 20
+        assert hasattr(stream, "set_concept")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator("nope", 5, 20, 0, 0)
+
+
+class TestMakeArtificialStream:
+    def test_feature_count_scales_with_classes(self):
+        scenario = make_artificial_stream("rbf", 5, n_instances=2000, seed=0)
+        assert scenario.n_features == 20
+        scenario10 = make_artificial_stream("rbf", 10, n_instances=2000, seed=0)
+        assert scenario10.n_features == 40
+
+    def test_drift_points_evenly_spaced(self):
+        scenario = make_artificial_stream("rbf", 5, n_instances=8000, n_drifts=3, seed=0)
+        assert scenario.drift_points == [2000, 4000, 6000]
+        assert scenario.drifted_classes == [None, None, None]
+
+    def test_stream_emits_requested_shape(self):
+        scenario = make_artificial_stream(
+            "hyperplane", 5, n_instances=1000, max_imbalance_ratio=10, seed=1
+        )
+        for instance in scenario.stream.take(100):
+            assert instance.x.shape == (scenario.n_features,)
+            assert 0 <= instance.y < scenario.n_classes
+
+    def test_metadata_records_family_and_speed(self):
+        scenario = make_artificial_stream("agrawal", 5, n_instances=1000, seed=0)
+        assert scenario.metadata["family"] == "agrawal"
+        assert scenario.metadata["drift_speed"] == "incremental"
+
+    def test_imbalance_profile_attached(self):
+        scenario = make_artificial_stream(
+            "rbf", 5, n_instances=1000, max_imbalance_ratio=100, seed=0
+        )
+        assert scenario.profile is not None
+        assert scenario.profile.imbalance_ratio(0) >= 1.0
+
+
+class TestScenarioBuilders:
+    def test_scenario1_marks_metadata(self):
+        scenario = scenario_global_drift("rbf", 5, n_instances=2000, seed=0)
+        assert scenario.metadata["scenario"] == 1
+        assert scenario.name.startswith("scenario1-")
+
+    def test_scenario2_uses_role_switching_profile(self):
+        from repro.streams.imbalance import RoleSwitchingImbalance
+
+        scenario = scenario_role_switching("rbf", 5, n_instances=2000, seed=0)
+        assert isinstance(scenario.profile, RoleSwitchingImbalance)
+        assert scenario.metadata["scenario"] == 2
+
+    def test_scenario3_targets_smallest_classes(self):
+        scenario = scenario_local_drift(
+            "rbf", n_classes=5, n_drifted_classes=2, n_instances=2000, seed=0
+        )
+        assert scenario.drifted_classes == [[3, 4]]
+        assert scenario.drift_points == [1000]
+        assert scenario.metadata["n_drifted_classes"] == 2
+
+    def test_scenario3_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            scenario_local_drift("rbf", n_classes=5, n_drifted_classes=0)
+        with pytest.raises(ValueError):
+            scenario_local_drift("rbf", n_classes=5, n_drifted_classes=6)
+
+    def test_scenario3_static_profile_when_roles_fixed(self):
+        from repro.streams.imbalance import StaticImbalance
+
+        scenario = scenario_local_drift(
+            "rbf", n_classes=5, n_drifted_classes=1, role_switching=False, seed=0
+        )
+        assert isinstance(scenario.profile, StaticImbalance)
+
+    def test_scenarios_emit_valid_instances(self):
+        for builder in (scenario_global_drift, scenario_role_switching):
+            scenario = builder("randomtree", 5, n_instances=1500, seed=3)
+            labels = [inst.y for inst in scenario.stream.take(300)]
+            assert all(0 <= label < 5 for label in labels)
+            assert np.isfinite(
+                np.vstack([inst.x for inst in scenario.stream.take(50)])
+            ).all()
