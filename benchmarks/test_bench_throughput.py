@@ -1,0 +1,141 @@
+"""Throughput benchmark: instance-mode vs batch-mode prequential execution.
+
+Measures instances/second of the full RBM-IM prequential path (stream
+generation -> classifier test -> detector step -> classifier train -> windowed
+metrics) in the three execution modes of :class:`PrequentialRunner`:
+
+* ``instance`` — the classic one-``Instance``-at-a-time loop (baseline);
+* ``chunk-exact`` — vectorized stream fetch, per-instance models
+  (bit-identical results);
+* ``batch`` — chunk-granular test-then-train over the batch APIs.
+
+Run as a pytest harness (``PYTHONPATH=src python -m pytest
+benchmarks/test_bench_throughput.py``) for a scaled-down regression check, or
+as a script (``PYTHONPATH=src python benchmarks/test_bench_throughput.py``) to
+record the full measurement into ``BENCH_throughput.json`` at the repository
+root — the perf trajectory future changes are compared against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from bench_common import stream_length
+
+from repro.classifiers import GaussianNaiveBayes
+from repro.core.detector import RBMIM, RBMIMConfig
+from repro.evaluation.prequential import PrequentialRunner
+from repro.streams.generators import SEAGenerator
+
+#: Conservative CI floor: the recorded baseline shows >= 5x on an idle
+#: machine; shared runners are noisy, so the regression gate is looser.
+MIN_SPEEDUP = 2.5
+
+WORKLOADS = {
+    "sea3-rbmim": dict(n_classes=3, n_features=3),
+    "sea5x20-rbmim": dict(n_classes=5, n_features=20),
+}
+
+MODES = {
+    "instance": {},
+    "chunk-exact": dict(chunk_size=1024),
+    "batch": dict(chunk_size=1024, batch_mode=True),
+}
+
+
+def _nb_factory(n_features: int, n_classes: int) -> GaussianNaiveBayes:
+    return GaussianNaiveBayes(n_features, n_classes)
+
+
+def measure_throughput(
+    n_classes: int,
+    n_features: int,
+    n_instances: int,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Best-of-``repeats`` instances/sec for every execution mode."""
+    runner = PrequentialRunner(
+        _nb_factory, pretrain_size=200, snapshot_every=2_500
+    )
+    throughput: dict[str, float] = {}
+    for mode, kwargs in MODES.items():
+        best = 0.0
+        for _ in range(repeats):
+            stream = SEAGenerator(
+                n_classes=n_classes, n_features=n_features, seed=1
+            )
+            detector = RBMIM(
+                n_features, n_classes, RBMIMConfig(batch_size=50, seed=11)
+            )
+            started = time.perf_counter()
+            runner.run(stream, detector, n_instances=n_instances, **kwargs)
+            elapsed = time.perf_counter() - started
+            best = max(best, n_instances / elapsed)
+        throughput[mode] = best
+    return throughput
+
+
+def run_benchmark(n_instances: int, repeats: int = 3) -> dict:
+    results: dict = {
+        "description": (
+            "Instances/sec of the RBM-IM prequential path (SEA stream, "
+            "Gaussian NB classifier, RBM-IM detector) per execution mode; "
+            "best of N repeats."
+        ),
+        "n_instances": n_instances,
+        "workloads": {},
+    }
+    for name, shape in WORKLOADS.items():
+        throughput = measure_throughput(
+            n_instances=n_instances, repeats=repeats, **shape
+        )
+        results["workloads"][name] = {
+            **shape,
+            "instances_per_sec": {
+                mode: round(value, 1) for mode, value in throughput.items()
+            },
+            "speedup_batch_vs_instance": round(
+                throughput["batch"] / throughput["instance"], 2
+            ),
+            "speedup_exact_vs_instance": round(
+                throughput["chunk-exact"] / throughput["instance"], 2
+            ),
+        }
+    return results
+
+
+class TestThroughput:
+    def test_batch_mode_speedup(self):
+        n_instances = stream_length(12_000, 30_000)
+        throughput = measure_throughput(
+            n_classes=3, n_features=3, n_instances=n_instances, repeats=2
+        )
+        speedup = throughput["batch"] / throughput["instance"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"batch mode only {speedup:.2f}x faster than instance mode "
+            f"(floor {MIN_SPEEDUP}x; recorded baseline in "
+            "BENCH_throughput.json shows >= 5x)"
+        )
+
+    def test_exact_mode_not_slower(self):
+        n_instances = stream_length(8_000, 20_000)
+        throughput = measure_throughput(
+            n_classes=3, n_features=3, n_instances=n_instances, repeats=2
+        )
+        # The exact chunked mode removes stream overhead only; it must never
+        # regress below the plain instance loop by more than noise.
+        assert throughput["chunk-exact"] >= 0.9 * throughput["instance"]
+
+
+def main() -> None:
+    results = run_benchmark(n_instances=30_000, repeats=3)
+    path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+    path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(results, indent=2))
+    print(f"\nrecorded -> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,15 @@
 """Streaming classifier interface used by the evaluation harness.
 
-All classifiers learn one instance at a time (``partial_fit``) and expose both
-hard predictions and class-probability scores; the scores feed the prequential
+All classifiers learn incrementally (``partial_fit``) and expose both hard
+predictions and class-probability scores; the scores feed the prequential
 multi-class AUC metric.  ``reset()`` rebuilds the model from scratch and is
 called by the harness when a drift detector signals a change.
+
+The interface is batch-first: the chunked prequential runner calls
+``partial_fit_batch`` / ``predict_proba_batch``, which default to per-instance
+loops so every classifier works unchanged; models with a natural vectorized
+formulation (naive Bayes, perceptron) override them with native NumPy batch
+paths.
 """
 
 from __future__ import annotations
@@ -45,6 +51,44 @@ class StreamClassifier(abc.ABC):
     def predict(self, x: np.ndarray) -> int:
         """Most probable class for one instance."""
         return int(np.argmax(self.predict_proba(x)))
+
+    # --------------------------------------------------------- batch interface
+    def partial_fit_batch(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Learn a batch of labelled instances.
+
+        The default adapter replays the batch through :meth:`partial_fit` one
+        instance at a time, so results are identical to instance-by-instance
+        learning.  Native overrides may use mini-batch semantics (one update
+        from the whole batch); they document any such deviation.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.int64)
+        if weights is None:
+            for i in range(labels.shape[0]):
+                self.partial_fit(features[i], int(labels[i]))
+        else:
+            for i in range(labels.shape[0]):
+                self.partial_fit(features[i], int(labels[i]), float(weights[i]))
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability estimates for a batch, shape ``(n, n_classes)``.
+
+        Default adapter: loops over :meth:`predict_proba`.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        out = np.empty((features.shape[0], self._n_classes))
+        for i in range(features.shape[0]):
+            out[i] = self.predict_proba(features[i])
+        return out
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class for each instance of a batch."""
+        return np.argmax(self.predict_proba_batch(features), axis=1).astype(np.int64)
 
     @abc.abstractmethod
     def reset(self) -> None:

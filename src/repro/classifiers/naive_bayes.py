@@ -43,6 +43,64 @@ class GaussianNaiveBayes(StreamClassifier):
         self._means[y] += weight * delta / self._counts[y]
         self._m2[y] += weight * delta * (x - self._means[y])
 
+    def partial_fit_batch(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Vectorized batch update via per-class moment merging.
+
+        Uses the Chan/parallel-Welford combination formula per class, which is
+        mathematically identical to replaying the batch instance by instance
+        (per-class moments are independent of the interleaving) up to float
+        rounding.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(labels.shape[0])
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        for label in np.unique(labels):
+            mask = labels == label
+            w = weights[mask]
+            w_sum = float(w.sum())
+            if w_sum <= 0.0:
+                continue
+            batch_mean = np.average(features[mask], axis=0, weights=w)
+            batch_m2 = np.sum(
+                w[:, None] * (features[mask] - batch_mean) ** 2, axis=0
+            )
+            count = self._counts[label]
+            total = count + w_sum
+            delta = batch_mean - self._means[label]
+            self._means[label] += delta * (w_sum / total)
+            self._m2[label] += batch_m2 + delta**2 * (count * w_sum / total)
+            self._counts[label] = total
+
+    def predict_proba_batch(self, features: np.ndarray) -> np.ndarray:
+        """Fully vectorized posterior for a batch, shape ``(n, n_classes)``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        total = self._counts.sum()
+        priors = (self._counts + self._prior_smoothing) / (
+            total + self._prior_smoothing * self._n_classes
+        )
+        variance = np.maximum(
+            self._m2 / np.maximum(self._counts[:, None], 1.0), _MIN_VARIANCE
+        )
+        diff = features[:, None, :] - self._means[None, :, :]
+        log_likelihoods = -0.5 * np.sum(
+            np.log(2.0 * np.pi * variance)[None] + diff**2 / variance[None], axis=2
+        )
+        # Mirror the per-instance guards for unseen / single-instance classes.
+        log_likelihoods[:, self._counts == 0.0] = -1e6
+        log_likelihoods[:, (self._counts > 0.0) & (self._counts < 2.0)] = 0.0
+        log_posterior = np.log(priors)[None] + log_likelihoods
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        return posterior / posterior.sum(axis=1, keepdims=True)
+
     def _log_likelihood(self, x: np.ndarray) -> np.ndarray:
         log_likelihoods = np.zeros(self._n_classes)
         for label in range(self._n_classes):

@@ -279,6 +279,55 @@ class RBMIM(InstanceDetector):
         if len(self._buffer_x) >= self._cfg.batch_size:
             self._process_batch()
 
+    def step_batch(
+        self,
+        features: np.ndarray,
+        y_true: np.ndarray,
+        y_pred: np.ndarray,
+    ) -> np.ndarray:
+        """Native batch stepping: identical detections, no per-instance loop.
+
+        Instances are appended to the internal mini-batch buffer in bulk and
+        the detection/training pipeline runs whenever the buffer reaches
+        ``config.batch_size`` — exactly the boundaries the per-instance
+        :meth:`step` path would hit, so detections (positions and blamed
+        classes) are bit-identical to instance-mode stepping.  ``y_pred`` is
+        accepted for interface uniformity and ignored, as in :meth:`step`.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        y_true = np.asarray(y_true, dtype=np.int64)
+        n = y_true.shape[0]
+        if features.shape != (n, self._n_features):
+            raise ValueError(
+                f"expected features of shape ({n}, {self._n_features}), "
+                f"got {features.shape}"
+            )
+        if n and (y_true.min() < 0 or y_true.max() >= self._n_classes):
+            raise ValueError("label out of range")
+        flags = np.zeros(n, dtype=bool)
+        batch_size = self._cfg.batch_size
+        consumed = 0
+        while consumed < n:
+            room = batch_size - len(self._buffer_y)
+            take = min(n - consumed, room)
+            chunk = features[consumed : consumed + take]
+            self._buffer_x.extend(chunk)
+            self._buffer_y.extend(y_true[consumed : consumed + take].tolist())
+            self._n_observations += take
+            consumed += take
+            self._in_drift = False
+            self._in_warning = False
+            self._drifted_classes = None
+            if len(self._buffer_y) >= batch_size:
+                self._process_batch()
+                if self._in_drift:
+                    flags[consumed - 1] = True
+                    self._detections.append(self._n_observations)
+                    self._detection_classes.append(
+                        set(self._drifted_classes) if self._drifted_classes else None
+                    )
+        return flags
+
     def flush(self) -> None:
         """Force processing of a partially filled buffer (end of stream)."""
         if len(self._buffer_x) >= 2:
@@ -369,7 +418,8 @@ class RBMIM(InstanceDetector):
         cfg = self._cfg
         baseline = np.asarray(history, dtype=np.float64)
         mean = float(baseline.mean())
-        std = float(baseline.std())
+        centred = baseline - mean
+        std = float(np.sqrt(centred @ centred / baseline.shape[0]))
         std = max(std, 1e-3 * max(abs(mean), 1e-6), 1e-9)
         z_score = (error - mean) / std
         escalated = z_score > cfg.sensitivity

@@ -12,6 +12,9 @@ instantiates one tracker per class.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
+
+import numpy as np
 
 from repro.detectors.adwin import ADWIN
 
@@ -46,7 +49,11 @@ class TrendTracker:
         self._adwin = ADWIN(delta=adwin_delta)
         self._max_window = max_window
         self._min_window = min_window
-        self._history: deque[tuple[int, float]] = deque(maxlen=max_window)
+        # Values only: update times are consecutive integers by construction,
+        # so the regression is computed on 0..n-1 offsets (the slope is
+        # shift-invariant, and small offsets avoid the cancellation that raw
+        # timestamps cause in n*sum(t^2) - sum(t)^2).
+        self._history: deque[float] = deque(maxlen=max_window)
         self._time = 0
         self._trend_history: deque[float] = deque(maxlen=max_window)
 
@@ -69,7 +76,7 @@ class TrendTracker:
     @property
     def value_history(self) -> list[float]:
         """Monitored values currently inside the (max) window."""
-        return [value for _, value in self._history]
+        return list(self._history)
 
     def reset(self) -> None:
         self._adwin.reset()
@@ -88,25 +95,32 @@ class TrendTracker:
         """
         self._time += 1
         self._adwin.add_element(float(value))
-        self._history.append((self._time, float(value)))
+        self._history.append(float(value))
 
-        window = self.window_size
-        recent = list(self._history)[-window:]
+        window = min(self.window_size, len(self._history))
+        recent = np.fromiter(
+            islice(self._history, len(self._history) - window, None),
+            dtype=np.float64,
+            count=window,
+        )
         slope = self._slope(recent)
         self._trend_history.append(slope)
         return slope
 
     @staticmethod
-    def _slope(points: list[tuple[int, float]]) -> float:
-        """Least-squares slope ``Qr`` of Eq. 28 over the retained points."""
-        n = len(points)
+    def _slope(values: np.ndarray) -> float:
+        """Least-squares slope ``Qr`` of Eq. 28 over the retained points.
+
+        The regression abscissa is the 0-based offset inside the window
+        (consecutive update times shifted to the origin), whose moment sums
+        have exact closed forms.
+        """
+        n = values.shape[0]
         if n < 2:
             return 0.0
-        sum_t = sum(t for t, _ in points)
-        sum_r = sum(r for _, r in points)
-        sum_tr = sum(t * r for t, r in points)
-        sum_t2 = sum(t * t for t, _ in points)
+        sum_t = n * (n - 1) // 2
+        sum_t2 = (n - 1) * n * (2 * n - 1) // 6
+        sum_r = float(values.sum())
+        sum_tr = float(np.arange(n) @ values)
         denominator = n * sum_t2 - sum_t * sum_t
-        if abs(denominator) < 1e-12:
-            return 0.0
         return (n * sum_tr - sum_t * sum_r) / denominator

@@ -40,6 +40,7 @@ class DriftDetector(abc.ABC):
         self._in_warning = False
         self._n_observations = 0
         self._detections: list[int] = []
+        self._detection_classes: list[set[int] | None] = []
         self._drifted_classes: set[int] | None = None
 
     # ------------------------------------------------------------------ API
@@ -68,12 +69,18 @@ class DriftDetector(abc.ABC):
         """Observation indices (1-based) at which drifts were signalled."""
         return list(self._detections)
 
+    @property
+    def detection_classes(self) -> list[set[int] | None]:
+        """For each detection, the classes blamed (None = global/unknown)."""
+        return list(self._detection_classes)
+
     def reset(self) -> None:
         """Reset all detector state (called after drift-triggered rebuilds)."""
         self._in_drift = False
         self._in_warning = False
         self._n_observations = 0
         self._detections = []
+        self._detection_classes = []
         self._drifted_classes = None
 
     def warm_start(self, X, y) -> None:
@@ -93,7 +100,32 @@ class DriftDetector(abc.ABC):
         self._update(x, y_true, y_pred)
         if self._in_drift:
             self._detections.append(self._n_observations)
+            self._detection_classes.append(
+                set(self._drifted_classes) if self._drifted_classes else None
+            )
         return self._in_drift
+
+    def step_batch(
+        self,
+        features: np.ndarray,
+        y_true: np.ndarray,
+        y_pred: np.ndarray,
+    ) -> np.ndarray:
+        """Consume a batch of labelled predictions.
+
+        Returns a boolean array marking, for every instance of the batch,
+        whether a drift was signalled at that instance.  The default adapter
+        loops over :meth:`step`, so all detectors work unchanged; detectors
+        that buffer mini-batches internally (RBM-IM) override it with a
+        native batch path that produces identical detections.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        y_true = np.asarray(y_true, dtype=np.int64)
+        y_pred = np.asarray(y_pred, dtype=np.int64)
+        flags = np.zeros(y_true.shape[0], dtype=bool)
+        for i in range(y_true.shape[0]):
+            flags[i] = self.step(features[i], int(y_true[i]), int(y_pred[i]))
+        return flags
 
     @abc.abstractmethod
     def _update(self, x: np.ndarray, y_true: int, y_pred: int) -> None:

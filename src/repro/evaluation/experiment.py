@@ -93,12 +93,15 @@ def compare_detectors(
     n_instances: int | None = None,
     window_size: int = 1000,
     pretrain_size: int = 200,
+    chunk_size: int | None = 512,
 ) -> dict[str, RunResult]:
     """Run every detector on (a restarted copy of) the same scenario stream.
 
     The stream is restarted before each detector so that all detectors see an
     identical instance sequence, mirroring the paper's protocol of pairing
-    every detector with the same base classifier and stream.
+    every detector with the same base classifier and stream.  Instances are
+    pulled through the chunked-exact runner mode by default — vectorized
+    stream generation with results identical to the per-instance loop.
     """
     factories = dict(detector_factories or paper_detector_factories())
     classifier_factory = classifier_factory or default_classifier_factory
@@ -106,6 +109,7 @@ def compare_detectors(
         classifier_factory=classifier_factory,
         window_size=window_size,
         pretrain_size=pretrain_size,
+        chunk_size=chunk_size,
     )
     results: dict[str, RunResult] = {}
     for name, factory in factories.items():

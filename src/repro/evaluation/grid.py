@@ -1,0 +1,338 @@
+"""Parallel experiment grid: (streams x detectors x seeds) fan-out.
+
+The paper's evaluation is a large cross-product — 24 benchmark streams, six
+detectors, multiple repetitions — and every cell is an independent prequential
+run.  :class:`ExperimentGrid` materialises that cross-product and fans it out
+over :mod:`concurrent.futures` workers with structured result aggregation:
+
+* ``backend="process"`` — one OS process per worker (default; NumPy-heavy
+  cells scale with cores).  Factories must be picklable (module-level
+  functions or ``functools.partial`` over them; lambdas are not).
+* ``backend="thread"`` — threads; useful when factories are closures or the
+  grid is small.
+* ``backend="serial"`` — in-process loop; deterministic ordering, easiest to
+  debug.
+
+Every cell builds its stream *inside the worker* from ``(factory, seed)``, so
+no stream state crosses process boundaries and each cell is independently
+reproducible.  Failures are captured per cell (the grid keeps going) and
+reported on the :class:`GridResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.evaluation.prequential import PrequentialRunner, RunResult
+from repro.evaluation.results import ResultTable
+from repro.streams.base import DataStream
+from repro.streams.scenarios import ScenarioStream
+
+__all__ = ["GridCell", "GridCellResult", "GridResult", "ExperimentGrid"]
+
+#: Builds the stream for one cell: ``(seed) -> ScenarioStream | DataStream``.
+StreamFactory = Callable[[int], "ScenarioStream | DataStream"]
+#: Builds a detector for one cell: ``(n_features, n_classes) -> detector``.
+DetectorFactory = Callable[[int, int], object]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """Coordinates of one experiment in the grid."""
+
+    stream: str
+    detector: str
+    seed: int
+
+
+@dataclass
+class GridCellResult:
+    """One finished (or failed) grid cell."""
+
+    cell: GridCell
+    result: RunResult | None
+    wall_time: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+@dataclass
+class GridResult:
+    """Aggregated outcome of a grid run."""
+
+    cells: list[GridCellResult] = field(default_factory=list)
+
+    @property
+    def successes(self) -> list[GridCellResult]:
+        return [cell for cell in self.cells if cell.ok]
+
+    @property
+    def failures(self) -> list[GridCellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def metric(self, cell_result: GridCellResult, name: str) -> float:
+        value = getattr(cell_result.result, name)
+        return float(value)
+
+    def table(self, metric: str = "pmauc", scale: float = 1.0) -> ResultTable:
+        """(streams x detectors) table of a RunResult metric, seed-averaged."""
+        values: dict[tuple[str, str], list[float]] = {}
+        for cell_result in self.successes:
+            key = (cell_result.cell.stream, cell_result.cell.detector)
+            values.setdefault(key, []).append(
+                scale * self.metric(cell_result, metric)
+            )
+        table = ResultTable(metric_name=metric)
+        for (stream, detector), series in values.items():
+            table.add(stream, detector, float(np.mean(series)))
+        return table
+
+    def to_records(self) -> list[dict]:
+        """Flat JSON-friendly records, one per cell (for disk/DB sinks)."""
+        records = []
+        for cell_result in self.cells:
+            record: dict = dict(asdict(cell_result.cell))
+            record["wall_time"] = cell_result.wall_time
+            record["error"] = cell_result.error
+            if cell_result.result is not None:
+                run = cell_result.result
+                record.update(
+                    pmauc=run.pmauc,
+                    pmgm=run.pmgm,
+                    accuracy=run.accuracy,
+                    kappa=run.kappa,
+                    detections=list(run.detections),
+                    n_instances=run.n_instances,
+                    detector_time=run.detector_time,
+                    classifier_time=run.classifier_time,
+                )
+            records.append(record)
+        return records
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_records(), handle, indent=2)
+
+
+def _execute_cell(
+    cell: GridCell,
+    stream_factory: StreamFactory,
+    detector_factory: DetectorFactory | None,
+    classifier_factory: Callable,
+    runner_kwargs: dict,
+    run_kwargs: dict,
+) -> GridCellResult:
+    """Run one grid cell; module-level so process pools can pickle it."""
+    started = time.perf_counter()
+    try:
+        stream = stream_factory(cell.seed)
+        if isinstance(stream, ScenarioStream):
+            data_stream = stream.stream
+        else:
+            data_stream = stream
+        detector = (
+            detector_factory(data_stream.n_features, data_stream.n_classes)
+            if detector_factory is not None
+            else None
+        )
+        runner = PrequentialRunner(classifier_factory, **runner_kwargs)
+        result = runner.run(
+            stream, detector, detector_name=cell.detector, **run_kwargs
+        )
+        return GridCellResult(
+            cell=cell, result=result, wall_time=time.perf_counter() - started
+        )
+    except Exception:  # noqa: BLE001 - failures are per-cell data, not fatal
+        return GridCellResult(
+            cell=cell,
+            result=None,
+            wall_time=time.perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+
+
+class ExperimentGrid:
+    """Fan a (streams x detectors x seeds) grid across parallel workers.
+
+    Parameters
+    ----------
+    streams:
+        Mapping of stream name to a factory ``seed -> stream``; the stream is
+        built inside the worker, so each cell is independent.
+    detectors:
+        Mapping of detector name to ``(n_features, n_classes) -> detector``.
+        A ``None`` factory runs a detector-less baseline.
+    seeds:
+        Seeds to repeat every (stream, detector) pair with.
+    classifier_factory:
+        Base classifier for every cell; defaults to the paper's
+        cost-sensitive perceptron tree.
+    n_instances:
+        Instances per run (``None`` = the scenario's recommended length).
+    runner_kwargs:
+        Extra :class:`PrequentialRunner` options (``chunk_size``,
+        ``batch_mode``, ``pretrain_size``, ...).
+    """
+
+    def __init__(
+        self,
+        streams: Mapping[str, StreamFactory],
+        detectors: Mapping[str, DetectorFactory | None],
+        seeds: Sequence[int] = (0,),
+        classifier_factory: Callable | None = None,
+        n_instances: int | None = None,
+        **runner_kwargs,
+    ) -> None:
+        if not streams:
+            raise ValueError("streams must not be empty")
+        if not detectors:
+            raise ValueError("detectors must not be empty")
+        if not seeds:
+            raise ValueError("seeds must not be empty")
+        if classifier_factory is None:
+            from repro.evaluation.experiment import default_classifier_factory
+
+            classifier_factory = default_classifier_factory
+        self._streams = dict(streams)
+        self._detectors = dict(detectors)
+        self._seeds = [int(seed) for seed in seeds]
+        self._classifier_factory = classifier_factory
+        self._n_instances = n_instances
+        self._runner_kwargs = dict(runner_kwargs)
+
+    def cells(self) -> list[GridCell]:
+        """The full cross-product, in deterministic order."""
+        return [
+            GridCell(stream=stream, detector=detector, seed=seed)
+            for stream in self._streams
+            for detector in self._detectors
+            for seed in self._seeds
+        ]
+
+    def __len__(self) -> int:
+        return len(self._streams) * len(self._detectors) * len(self._seeds)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        max_workers: int | None = None,
+        backend: str = "process",
+        progress: Callable[[GridCellResult], None] | None = None,
+    ) -> GridResult:
+        """Execute every cell and aggregate the results.
+
+        Parameters
+        ----------
+        max_workers:
+            Worker count for the parallel backends (default: executor's own).
+        backend:
+            ``"process"`` (default), ``"thread"``, or ``"serial"``.  The
+            process backend requires picklable factories and transparently
+            falls back to threads when pickling fails.
+        progress:
+            Optional callback invoked with every finished cell.
+        """
+        if backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend == "process" and not self._payload_picklable():
+            # Lambdas/closures cannot cross process boundaries; degrade to
+            # threads rather than failing every cell.
+            backend = "thread"
+        cells = self.cells()
+        if backend == "serial":
+            results = []
+            for cell in cells:
+                cell_result = self._execute(cell)
+                if progress is not None:
+                    progress(cell_result)
+                results.append(cell_result)
+            return GridResult(cells=results)
+        return GridResult(
+            cells=self._run_executor(cells, backend, max_workers, progress)
+        )
+
+    # ------------------------------------------------------------ internals
+    def _cell_args(self, cell: GridCell) -> tuple:
+        run_kwargs = {"n_instances": self._n_instances}
+        return (
+            cell,
+            self._streams[cell.stream],
+            self._detectors[cell.detector],
+            self._classifier_factory,
+            self._runner_kwargs,
+            run_kwargs,
+        )
+
+    def _execute(self, cell: GridCell) -> GridCellResult:
+        return _execute_cell(*self._cell_args(cell))
+
+    def _run_executor(
+        self,
+        cells: list[GridCell],
+        backend: str,
+        max_workers: int | None,
+        progress: Callable[[GridCellResult], None] | None,
+    ) -> list[GridCellResult]:
+        executor = self._make_executor(backend, max_workers)
+        try:
+            futures: dict[Future, GridCell] = {}
+            for cell in cells:
+                futures[
+                    executor.submit(_execute_cell, *self._cell_args(cell))
+                ] = cell
+            by_cell: dict[GridCell, GridCellResult] = {}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell = futures[future]
+                    try:
+                        cell_result = future.result()
+                    except Exception:  # worker crashed (e.g. OOM-kill)
+                        cell_result = GridCellResult(
+                            cell=cell,
+                            result=None,
+                            wall_time=float("nan"),
+                            error=traceback.format_exc(),
+                        )
+                    by_cell[cell] = cell_result
+                    if progress is not None:
+                        progress(cell_result)
+            return [by_cell[cell] for cell in cells]
+        finally:
+            executor.shutdown()
+
+    def _payload_picklable(self) -> bool:
+        import pickle
+
+        try:
+            pickle.dumps(
+                (
+                    tuple(self._streams.values()),
+                    tuple(self._detectors.values()),
+                    self._classifier_factory,
+                )
+            )
+        except Exception:  # noqa: BLE001 - any pickling failure means "no"
+            return False
+        return True
+
+    @staticmethod
+    def _make_executor(backend: str, max_workers: int | None) -> Executor:
+        if backend == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=max_workers)
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=max_workers)

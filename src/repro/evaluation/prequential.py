@@ -7,6 +7,26 @@ detector signals a drift the classifier is rebuilt and re-initialised from a
 short buffer of the most recent instances (the usual warning-window protocol).
 The runner also records where the detector fired, per-component timings, and
 the drift-detection report against the stream's ground truth.
+
+Three execution modes are provided:
+
+* **instance mode** (``chunk_size=None``) — the classic loop, one
+  :class:`~repro.streams.base.Instance` at a time;
+* **chunked exact mode** (``chunk_size=c``) — the stream is pulled in
+  vectorized chunks of ``c`` via :meth:`DataStream.generate_batch` (which is
+  bit-identical to per-instance generation) while classifier and detector are
+  still stepped per instance; detections and metrics are identical to
+  instance mode, only the per-instance stream overhead disappears;
+* **chunked batch mode** (``chunk_size=c, batch_mode=True``) — test-then-train
+  at chunk granularity: the whole chunk is scored with
+  ``predict_proba_batch``, stepped through ``step_batch``, and trained with
+  ``partial_fit_batch``.  Detection *positions* stay instance-granular, and a
+  drift inside a chunk rebuilds the classifier before the post-drift rows are
+  trained, but rows after a drift within the same chunk were already scored
+  by the pre-drift classifier — the standard interleaved-chunks trade-off.
+  This is the fast path used by the throughput benchmarks; detectors that
+  ignore the prediction stream (e.g. RBM-IM) produce identical detections in
+  every mode.
 """
 
 from __future__ import annotations
@@ -14,7 +34,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Deque
 
 import numpy as np
 
@@ -22,12 +42,16 @@ from repro.classifiers.base import StreamClassifier
 from repro.detectors.base import DriftDetector
 from repro.metrics.drift_eval import DriftDetectionReport, evaluate_detections
 from repro.metrics.prequential import MetricSnapshot, PrequentialEvaluator
-from repro.streams.base import DataStream, Instance
+from repro.streams.base import DataStream
 from repro.streams.scenarios import ScenarioStream
 
 __all__ = ["RunResult", "PrequentialRunner"]
 
 ClassifierFactory = Callable[[int, int], StreamClassifier]
+
+#: Recent (x, y) pairs replayed into a freshly built classifier after a
+#: drift-triggered reset.
+_Replay = Deque[tuple[np.ndarray, int]]
 
 
 @dataclass
@@ -89,6 +113,13 @@ class PrequentialRunner:
         classifier after a drift-triggered reset.
     snapshot_every:
         Spacing of metric snapshots.
+    chunk_size:
+        When set, instances are pulled from the stream in vectorized chunks
+        of this size (see module docstring); ``None`` keeps the classic
+        per-instance loop.
+    batch_mode:
+        With a chunk size, also batch the classifier/detector calls
+        (test-then-train at chunk granularity) for maximum throughput.
     """
 
     def __init__(
@@ -98,14 +129,20 @@ class PrequentialRunner:
         pretrain_size: int = 200,
         rebuild_buffer: int = 200,
         snapshot_every: int = 500,
+        chunk_size: int | None = None,
+        batch_mode: bool = False,
     ) -> None:
         if pretrain_size < 0 or rebuild_buffer < 0:
             raise ValueError("pretrain_size and rebuild_buffer must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 or None")
         self._classifier_factory = classifier_factory
         self._window_size = window_size
         self._pretrain_size = pretrain_size
         self._rebuild_buffer = rebuild_buffer
         self._snapshot_every = snapshot_every
+        self._chunk_size = chunk_size
+        self._batch_mode = batch_mode
 
     # ----------------------------------------------------------------- run
     def run(
@@ -115,6 +152,8 @@ class PrequentialRunner:
         n_instances: int | None = None,
         detector_name: str | None = None,
         drift_tolerance: int = 2_000,
+        chunk_size: int | None = None,
+        batch_mode: bool | None = None,
     ) -> RunResult:
         """Evaluate one detector on one stream.
 
@@ -129,6 +168,8 @@ class PrequentialRunner:
         n_instances:
             Number of instances to process; defaults to the scenario's
             recommended length or 10 000.
+        chunk_size, batch_mode:
+            Per-run overrides of the constructor's execution mode.
         """
         scenario: ScenarioStream | None = None
         if isinstance(stream, ScenarioStream):
@@ -142,109 +183,266 @@ class PrequentialRunner:
             stream_name = data_stream.name
         if n_instances is None:
             n_instances = 10_000
+        chunk = self._chunk_size if chunk_size is None else chunk_size
+        batched = self._batch_mode if batch_mode is None else batch_mode
 
-        n_features = data_stream.n_features
-        n_classes = data_stream.n_classes
-        classifier = self._classifier_factory(n_features, n_classes)
-        evaluator = PrequentialEvaluator(
-            n_classes=n_classes,
-            window_size=self._window_size,
-            snapshot_every=self._snapshot_every,
+        state = _RunState(
+            classifier=self._classifier_factory(
+                data_stream.n_features, data_stream.n_classes
+            ),
+            evaluator=PrequentialEvaluator(
+                n_classes=data_stream.n_classes,
+                window_size=self._window_size,
+                snapshot_every=self._snapshot_every,
+            ),
+            replay=deque(maxlen=max(self._rebuild_buffer, 1)),
         )
-        replay: deque[Instance] = deque(maxlen=max(self._rebuild_buffer, 1))
-        detections: list[int] = []
-        detected_classes: list[set[int]] = []
-        detector_time = 0.0
-        classifier_time = 0.0
 
-        instances = self._iterate(data_stream, n_instances)
-        warm_x: list[np.ndarray] = []
-        warm_y: list[int] = []
-
-        for position, instance in enumerate(instances):
-            x, y_true = instance.x, instance.y
-            replay.append(instance)
-
-            if position < self._pretrain_size:
-                start = time.perf_counter()
-                classifier.partial_fit(x, y_true)
-                classifier_time += time.perf_counter() - start
-                warm_x.append(x)
-                warm_y.append(y_true)
-                continue
-            if position == self._pretrain_size and detector is not None and warm_x:
-                start = time.perf_counter()
-                detector.warm_start(np.vstack(warm_x), np.asarray(warm_y))
-                detector_time += time.perf_counter() - start
-
-            # ---- test
-            start = time.perf_counter()
-            scores = classifier.predict_proba(x)
-            y_pred = int(np.argmax(scores))
-            classifier_time += time.perf_counter() - start
-            evaluator.update(scores, y_true, y_pred)
-
-            # ---- detect
-            if detector is not None:
-                start = time.perf_counter()
-                drifted = detector.step(x, y_true, y_pred)
-                detector_time += time.perf_counter() - start
-                if drifted:
-                    detections.append(position)
-                    detected_classes.append(set(detector.drifted_classes or set()))
-                    classifier = self._rebuild_classifier(
-                        n_features, n_classes, replay
-                    )
-
-            # ---- train
-            start = time.perf_counter()
-            classifier.partial_fit(x, y_true)
-            classifier_time += time.perf_counter() - start
+        if chunk is None:
+            self._run_instance_mode(data_stream, detector, n_instances, state)
+        elif batched:
+            self._run_batch_mode(data_stream, detector, n_instances, chunk, state)
+        else:
+            self._run_chunked_exact(data_stream, detector, n_instances, chunk, state)
 
         drift_report = None
         if scenario is not None:
             drift_report = evaluate_detections(
-                scenario.drift_points, detections, tolerance=drift_tolerance
+                scenario.drift_points, state.detections, tolerance=drift_tolerance
             )
 
         return RunResult(
             stream_name=stream_name,
             detector_name=detector_name or self._describe(detector),
-            pmauc=evaluator.mean_pmauc(),
-            pmgm=evaluator.mean_pmgm(),
-            accuracy=evaluator.accuracy(),
-            kappa=evaluator.kappa(),
-            detections=detections,
-            detected_classes=detected_classes,
+            pmauc=state.evaluator.mean_pmauc(),
+            pmgm=state.evaluator.mean_pmgm(),
+            accuracy=state.evaluator.accuracy(),
+            kappa=state.evaluator.kappa(),
+            detections=state.detections,
+            detected_classes=state.detected_classes,
             drift_report=drift_report,
-            detector_time=detector_time,
-            classifier_time=classifier_time,
+            detector_time=state.detector_time,
+            classifier_time=state.classifier_time,
             n_instances=n_instances,
-            snapshots=evaluator.snapshots,
+            snapshots=state.evaluator.snapshots,
         )
 
+    # ----------------------------------------------------- execution modes
+    def _run_instance_mode(
+        self,
+        data_stream: DataStream,
+        detector: DriftDetector | None,
+        n_instances: int,
+        state: "_RunState",
+    ) -> None:
+        """Classic loop: one Instance object at a time (baseline path)."""
+        produced = 0
+        while produced < n_instances:
+            try:
+                instance = data_stream.next_instance()
+            except StopIteration:
+                break
+            self._step_one(
+                instance.x, int(instance.y), produced, detector, state
+            )
+            produced += 1
+
+    def _run_chunked_exact(
+        self,
+        data_stream: DataStream,
+        detector: DriftDetector | None,
+        n_instances: int,
+        chunk: int,
+        state: "_RunState",
+    ) -> None:
+        """Vectorized stream fetch, per-instance model/detector stepping.
+
+        Produces results identical to instance mode: ``generate_batch`` is
+        bit-identical to repeated ``next_instance`` and every other operation
+        happens in the same order.
+        """
+        produced = 0
+        while produced < n_instances:
+            features, labels = data_stream.generate_batch(
+                min(chunk, n_instances - produced)
+            )
+            if labels.shape[0] == 0:
+                break
+            for i in range(labels.shape[0]):
+                self._step_one(
+                    features[i], int(labels[i]), produced + i, detector, state
+                )
+            produced += int(labels.shape[0])
+
+    def _run_batch_mode(
+        self,
+        data_stream: DataStream,
+        detector: DriftDetector | None,
+        n_instances: int,
+        chunk: int,
+        state: "_RunState",
+    ) -> None:
+        """Chunk-granular test-then-train over the batch APIs."""
+        produced = 0
+        while produced < n_instances:
+            features, labels = data_stream.generate_batch(
+                min(chunk, n_instances - produced)
+            )
+            n_rows = int(labels.shape[0])
+            if n_rows == 0:
+                break
+            offset = 0
+            if produced < self._pretrain_size:
+                offset = min(self._pretrain_size - produced, n_rows)
+                start = time.perf_counter()
+                state.classifier.partial_fit_batch(
+                    features[:offset], labels[:offset]
+                )
+                state.classifier_time += time.perf_counter() - start
+                state.warm_x.append(features[:offset])
+                state.warm_y.append(labels[:offset])
+                state.replay.extend(
+                    zip(features[:offset], (int(v) for v in labels[:offset]))
+                )
+            if (
+                produced + offset >= self._pretrain_size
+                and detector is not None
+                and not state.warm_started
+                and state.warm_x
+            ):
+                start = time.perf_counter()
+                detector.warm_start(
+                    np.vstack(state.warm_x), np.concatenate(state.warm_y)
+                )
+                state.detector_time += time.perf_counter() - start
+                state.warm_started = True
+            if offset >= n_rows:
+                produced += n_rows
+                continue
+
+            chunk_x = features[offset:]
+            chunk_y = labels[offset:]
+            start = time.perf_counter()
+            scores = state.classifier.predict_proba_batch(chunk_x)
+            state.classifier_time += time.perf_counter() - start
+            predictions = np.argmax(scores, axis=1).astype(np.int64)
+            state.evaluator.update_batch(scores, chunk_y, predictions)
+
+            last_drift_row = -1
+            if detector is not None:
+                start = time.perf_counter()
+                flags = detector.step_batch(chunk_x, chunk_y, predictions)
+                state.detector_time += time.perf_counter() - start
+                drift_rows = np.flatnonzero(flags)
+                if drift_rows.shape[0]:
+                    blamed = detector.detection_classes[-drift_rows.shape[0] :]
+                    for row, classes in zip(drift_rows, blamed):
+                        state.detections.append(produced + offset + int(row))
+                        state.detected_classes.append(set(classes or set()))
+                    last_drift_row = int(drift_rows[-1])
+
+            if last_drift_row >= 0:
+                state.replay.extend(
+                    zip(
+                        chunk_x[: last_drift_row + 1],
+                        (int(v) for v in chunk_y[: last_drift_row + 1]),
+                    )
+                )
+                state.classifier = self._rebuild_classifier(
+                    data_stream.n_features, data_stream.n_classes, state.replay
+                )
+                train_x = chunk_x[last_drift_row + 1 :]
+                train_y = chunk_y[last_drift_row + 1 :]
+            else:
+                train_x = chunk_x
+                train_y = chunk_y
+            if train_y.shape[0]:
+                start = time.perf_counter()
+                state.classifier.partial_fit_batch(train_x, train_y)
+                state.classifier_time += time.perf_counter() - start
+                state.replay.extend(zip(train_x, (int(v) for v in train_y)))
+            produced += n_rows
+
     # ------------------------------------------------------------ internals
+    def _step_one(
+        self,
+        x: np.ndarray,
+        y_true: int,
+        position: int,
+        detector: DriftDetector | None,
+        state: "_RunState",
+    ) -> None:
+        """One test-then-train step shared by instance and exact modes."""
+        state.replay.append((x, y_true))
+
+        if position < self._pretrain_size:
+            start = time.perf_counter()
+            state.classifier.partial_fit(x, y_true)
+            state.classifier_time += time.perf_counter() - start
+            state.warm_x.append(x)
+            state.warm_y.append(y_true)
+            return
+        if (
+            position == self._pretrain_size
+            and detector is not None
+            and state.warm_x
+        ):
+            start = time.perf_counter()
+            detector.warm_start(np.vstack(state.warm_x), np.asarray(state.warm_y))
+            state.detector_time += time.perf_counter() - start
+            state.warm_started = True
+
+        # ---- test
+        start = time.perf_counter()
+        scores = state.classifier.predict_proba(x)
+        y_pred = int(np.argmax(scores))
+        state.classifier_time += time.perf_counter() - start
+        state.evaluator.update(scores, y_true, y_pred)
+
+        # ---- detect
+        if detector is not None:
+            start = time.perf_counter()
+            drifted = detector.step(x, y_true, y_pred)
+            state.detector_time += time.perf_counter() - start
+            if drifted:
+                state.detections.append(position)
+                state.detected_classes.append(set(detector.drifted_classes or set()))
+                state.classifier = self._rebuild_classifier(
+                    x.shape[0], state.evaluator.n_classes, state.replay
+                )
+
+        # ---- train
+        start = time.perf_counter()
+        state.classifier.partial_fit(x, y_true)
+        state.classifier_time += time.perf_counter() - start
+
     @staticmethod
     def _describe(detector: DriftDetector | None) -> str:
         if detector is None:
             return "none"
         return type(detector).__name__
 
-    @staticmethod
-    def _iterate(stream: DataStream, n_instances: int) -> Iterable[Instance]:
-        produced = 0
-        while produced < n_instances:
-            try:
-                yield stream.next_instance()
-            except StopIteration:
-                return
-            produced += 1
-
     def _rebuild_classifier(
-        self, n_features: int, n_classes: int, replay: deque[Instance]
+        self, n_features: int, n_classes: int, replay: _Replay
     ) -> StreamClassifier:
         """Build a fresh classifier and replay the recent buffer into it."""
         classifier = self._classifier_factory(n_features, n_classes)
-        for instance in replay:
-            classifier.partial_fit(instance.x, instance.y)
+        for x, y in replay:
+            classifier.partial_fit(x, int(y))
         return classifier
+
+
+@dataclass
+class _RunState:
+    """Mutable accumulators shared by the execution modes."""
+
+    classifier: StreamClassifier
+    evaluator: PrequentialEvaluator
+    replay: _Replay
+    detections: list[int] = field(default_factory=list)
+    detected_classes: list[set[int]] = field(default_factory=list)
+    detector_time: float = 0.0
+    classifier_time: float = 0.0
+    warm_x: list[np.ndarray] = field(default_factory=list)
+    warm_y: list = field(default_factory=list)
+    warm_started: bool = False

@@ -76,6 +76,36 @@ class StreamingConfusionMatrix:
         self._matrix[y_true, y_pred] += 1.0
         self._total += 1
 
+    def update_batch(self, y_true: np.ndarray, y_pred: np.ndarray) -> None:
+        """Record a batch of predictions; identical to repeated :meth:`update`."""
+        y_true = np.asarray(y_true, dtype=np.int64)
+        y_pred = np.asarray(y_pred, dtype=np.int64)
+        n = y_true.shape[0]
+        if n == 0:
+            return
+        for labels in (y_true, y_pred):
+            if labels.min() < 0 or labels.max() >= self._n_classes:
+                raise ValueError("label out of range")
+        if self._window is not None:
+            # Appending n pairs to a deque of maxlen m keeps (old + new)[-m:];
+            # everything else must be subtracted from the matrix.
+            maxlen = self._window.maxlen or 0
+            n_evicted = max(0, len(self._window) + n - maxlen)
+            from_old = min(n_evicted, len(self._window))
+            for _ in range(from_old):
+                old_true, old_pred = self._window.popleft()
+                self._matrix[old_true, old_pred] -= 1.0
+            evicted_new = n_evicted - from_old
+            self._window.extend(zip(y_true.tolist(), y_pred.tolist()))
+            if evicted_new > 0:
+                np.subtract.at(
+                    self._matrix,
+                    (y_true[:evicted_new], y_pred[:evicted_new]),
+                    1.0,
+                )
+        np.add.at(self._matrix, (y_true, y_pred), 1.0)
+        self._total += n
+
     # ------------------------------------------------------------- derived
     def support(self) -> np.ndarray:
         """Number of (windowed) instances of each true class."""

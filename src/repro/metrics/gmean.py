@@ -29,6 +29,9 @@ class PrequentialGMean:
     def update(self, y_true: int, y_pred: int) -> None:
         self._confusion.update(y_true, y_pred)
 
+    def update_batch(self, y_true, y_pred) -> None:
+        self._confusion.update_batch(y_true, y_pred)
+
     def value(self) -> float:
         """Current windowed G-mean (0 when any observed class is fully missed)."""
         return self._confusion.geometric_mean()

@@ -9,8 +9,6 @@ the paper's evaluation (Table III, Figs. 8-9).
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 __all__ = ["auc_from_scores", "PrequentialMultiClassAUC"]
@@ -31,16 +29,15 @@ def auc_from_scores(scores: np.ndarray, is_positive: np.ndarray) -> float:
     order = np.argsort(scores, kind="mergesort")
     ranks = np.empty_like(scores)
     sorted_scores = scores[order]
-    # Midranks for ties.
-    ranks_sorted = np.arange(1, scores.shape[0] + 1, dtype=np.float64)
-    i = 0
-    while i < sorted_scores.shape[0]:
-        j = i
-        while j + 1 < sorted_scores.shape[0] and sorted_scores[j + 1] == sorted_scores[i]:
-            j += 1
-        ranks_sorted[i : j + 1] = (i + j + 2) / 2.0
-        i = j + 1
-    ranks[order] = ranks_sorted
+    # Midranks for ties, vectorized: tied runs share the mean of the 1-based
+    # ranks they span ((start + end + 2) / 2 for a run [start, end]).
+    n = sorted_scores.shape[0]
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_scores[1:] != sorted_scores[:-1]))
+    )
+    run_lengths = np.diff(np.concatenate((run_starts, [n])))
+    midranks = (2 * run_starts + run_lengths + 1) / 2.0
+    ranks[order] = np.repeat(midranks, run_lengths)
     rank_sum_positive = float(ranks[is_positive].sum())
     u_statistic = rank_sum_positive - n_positive * (n_positive + 1) / 2.0
     return float(u_statistic / (n_positive * n_negative))
@@ -64,14 +61,22 @@ class PrequentialMultiClassAUC:
         if window_size < 10:
             raise ValueError("window_size must be >= 10")
         self._n_classes = n_classes
-        self._window: deque[tuple[np.ndarray, int]] = deque(maxlen=window_size)
+        # Ring buffer instead of a deque of tuples: the AUC is rank-based, so
+        # the in-window ordering is irrelevant and slots can be overwritten in
+        # place — no per-update allocation, no per-readout vstack.
+        self._window_size = window_size
+        self._scores = np.empty((window_size, n_classes), dtype=np.float64)
+        self._labels = np.empty(window_size, dtype=np.int64)
+        self._cursor = 0
+        self._count = 0
 
     @property
     def window_size(self) -> int:
-        return self._window.maxlen or 0
+        return self._window_size
 
     def reset(self) -> None:
-        self._window.clear()
+        self._cursor = 0
+        self._count = 0
 
     def update(self, scores: np.ndarray, y_true: int) -> None:
         """Add one prediction: per-class scores and the true label."""
@@ -82,14 +87,43 @@ class PrequentialMultiClassAUC:
             )
         if not 0 <= int(y_true) < self._n_classes:
             raise ValueError("label out of range")
-        self._window.append((scores, int(y_true)))
+        self._scores[self._cursor] = scores
+        self._labels[self._cursor] = int(y_true)
+        self._cursor = (self._cursor + 1) % self._window_size
+        self._count = min(self._count + 1, self._window_size)
+
+    def update_batch(self, scores: np.ndarray, y_true: np.ndarray) -> None:
+        """Add a batch of predictions; identical to repeated :meth:`update`."""
+        scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+        y_true = np.asarray(y_true, dtype=np.int64)
+        if scores.shape[1] != self._n_classes:
+            raise ValueError(
+                f"expected {self._n_classes} scores per row, got {scores.shape[1]}"
+            )
+        n = y_true.shape[0]
+        if n and (y_true.min() < 0 or y_true.max() >= self._n_classes):
+            raise ValueError("label out of range")
+        if n >= self._window_size:
+            # Only the last window_size rows survive.
+            scores = scores[n - self._window_size :]
+            y_true = y_true[n - self._window_size :]
+            n = self._window_size
+        first = min(n, self._window_size - self._cursor)
+        self._scores[self._cursor : self._cursor + first] = scores[:first]
+        self._labels[self._cursor : self._cursor + first] = y_true[:first]
+        remainder = n - first
+        if remainder:
+            self._scores[:remainder] = scores[first:]
+            self._labels[:remainder] = y_true[first:]
+        self._cursor = (self._cursor + n) % self._window_size
+        self._count = min(self._count + n, self._window_size)
 
     def value(self) -> float:
         """Current pmAUC over the window (NaN-free: returns 0.5 when empty)."""
-        if not self._window:
+        if self._count == 0:
             return 0.5
-        all_scores = np.vstack([scores for scores, _ in self._window])
-        labels = np.asarray([label for _, label in self._window])
+        all_scores = self._scores[: self._count]
+        labels = self._labels[: self._count]
         per_class = []
         for label in range(self._n_classes):
             positives = labels == label

@@ -86,6 +86,27 @@ class PrequentialEvaluator:
         if self._n_seen % self.snapshot_every == 0:
             self._snapshots.append(self.snapshot())
 
+    def update_batch(
+        self, scores: np.ndarray, y_true: np.ndarray, y_pred: np.ndarray
+    ) -> None:
+        """Record a batch of steps, firing snapshots at the exact positions
+        (and with the exact window contents) the per-instance path would."""
+        scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+        y_true = np.asarray(y_true, dtype=np.int64)
+        y_pred = np.asarray(y_pred, dtype=np.int64)
+        n = y_true.shape[0]
+        start = 0
+        while start < n:
+            to_snapshot = self.snapshot_every - (self._n_seen % self.snapshot_every)
+            end = min(n, start + to_snapshot)
+            self._auc.update_batch(scores[start:end], y_true[start:end])
+            self._gmean.update_batch(y_true[start:end], y_pred[start:end])
+            self._confusion.update_batch(y_true[start:end], y_pred[start:end])
+            self._n_seen += end - start
+            if self._n_seen % self.snapshot_every == 0:
+                self._snapshots.append(self.snapshot())
+            start = end
+
     # ------------------------------------------------------------- readouts
     def pmauc(self) -> float:
         return self._auc.value()

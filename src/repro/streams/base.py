@@ -4,8 +4,24 @@ The paper evaluates drift detectors on MOA data streams.  This module provides
 the equivalent substrate: an :class:`Instance` record, a :class:`StreamSchema`
 describing the feature space, and the :class:`DataStream` base class that every
 generator, drift wrapper, and imbalance wrapper in :mod:`repro.streams` builds
-on.  Streams are plain Python iterators over :class:`Instance` objects and are
-fully reproducible through an explicit seed.
+on.
+
+Streams are **batch-first**: the primitive operation is
+:meth:`DataStream.generate_batch`, which produces ``(X, y)`` NumPy arrays for
+``n`` instances in one call, and the per-instance iterator protocol
+(:meth:`DataStream.next_instance` / ``__iter__``) is a thin shim over the
+batch path.  A subclass implements exactly one of
+
+* ``_generate()`` — the legacy instance-primitive hook; ``generate_batch``
+  then falls back to a per-instance loop, or
+* ``_generate_batch(n)`` — the vectorized batch-primitive hook; the instance
+  shim draws batches of size one.
+
+Because every vectorized generator draws its randomness as one contiguous
+block of uniform doubles per instance (see :mod:`repro.streams.vector_ops`),
+``generate_batch(n)`` consumes the underlying bit stream exactly like ``n``
+calls of ``next_instance()``: seeded outputs are bit-identical between the two
+paths.  Streams remain fully reproducible through an explicit seed.
 """
 
 from __future__ import annotations
@@ -90,13 +106,23 @@ class StreamSchema:
 class DataStream(abc.ABC):
     """Base class for all data streams.
 
-    A stream exposes its :class:`StreamSchema` and yields :class:`Instance`
-    objects through :meth:`__iter__` / :meth:`next_instance`.  Implementations
-    must be deterministic for a given ``seed`` so that every experiment in the
-    benchmark harness is reproducible.
+    A stream exposes its :class:`StreamSchema` and emits instances either in
+    bulk through :meth:`generate_batch` (the fast path) or one at a time
+    through :meth:`next_instance` / ``__iter__``.  Implementations must be
+    deterministic for a given ``seed`` so that every experiment in the
+    benchmark harness is reproducible, and the two paths must agree: a batch
+    of ``n`` is bit-identical to ``n`` single draws from the same state.
     """
 
     def __init__(self, schema: StreamSchema, seed: int | None = None) -> None:
+        if (
+            type(self)._generate is DataStream._generate
+            and type(self)._generate_batch is DataStream._generate_batch
+        ):
+            raise TypeError(
+                f"{type(self).__name__} must implement _generate() or "
+                "_generate_batch(n)"
+            )
         self._schema = schema
         self._seed = seed
         self._rng = np.random.default_rng(seed)
@@ -133,30 +159,105 @@ class DataStream(abc.ABC):
         self._rng = np.random.default_rng(self._seed)
         self._position = 0
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------ primitives
     def _generate(self) -> Instance:
-        """Produce the next raw instance.  Subclasses implement this."""
+        """Produce the next raw instance (instance-primitive hook).
 
+        The default implementation adapts the batch-primitive hook; streams
+        that implement ``_generate_batch`` inherit it unchanged.  Raises
+        :class:`StopIteration` when the stream is exhausted.
+        """
+        features, labels = self._generate_batch(1)
+        if labels.shape[0] == 0:
+            raise StopIteration(f"stream '{self.name}' exhausted")
+        return Instance(x=features[0], y=int(labels[0]))
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Produce up to ``n`` raw instances as ``(X, y)`` (batch hook).
+
+        Batch-primitive subclasses override this with a vectorized
+        implementation.  The hook must not advance :attr:`position` (the
+        public wrappers do) but may read it, e.g. for position-dependent
+        schedules.  Returning fewer than ``n`` rows signals exhaustion.
+        """
+        raise NotImplementedError  # pragma: no cover - dispatch short-circuits
+
+    # --------------------------------------------------------------- reading
     def next_instance(self) -> Instance:
         """Return the next instance and advance the stream position."""
         instance = self._generate()
         self._position += 1
         return instance
 
+    def generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next ``n`` instances as ``(X, y)`` arrays.
+
+        ``X`` has shape ``(m, n_features)`` and ``y`` shape ``(m,)`` with
+        ``m <= n``; ``m < n`` only when a finite stream is exhausted.  For a
+        fixed seed the emitted values are bit-identical to ``n`` consecutive
+        :meth:`next_instance` calls.
+        """
+        n = int(n)
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return self._empty_batch()
+        if type(self)._generate_batch is DataStream._generate_batch:
+            # Instance-primitive stream: fall back to a per-instance loop so
+            # position-dependent logic in `_generate` keeps working.
+            xs: list[np.ndarray] = []
+            ys: list[int] = []
+            for _ in range(n):
+                try:
+                    instance = self.next_instance()
+                except StopIteration:
+                    break
+                xs.append(instance.x)
+                ys.append(instance.y)
+            if not xs:
+                return self._empty_batch()
+            return np.vstack(xs), np.asarray(ys, dtype=np.int64)
+        features, labels = self._generate_batch(n)
+        self._position += int(labels.shape[0])
+        return features, labels
+
+    def _empty_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.empty((0, self.n_features), dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+        )
+
     def __iter__(self) -> Iterator[Instance]:
+        # PEP 479: a StopIteration escaping a generator body becomes a
+        # RuntimeError, so exhaustion must be converted into a plain return.
         while True:
-            yield self.next_instance()
+            try:
+                instance = self.next_instance()
+            except StopIteration:
+                return
+            yield instance
 
     def take(self, n: int) -> list[Instance]:
-        """Collect the next ``n`` instances into a list."""
-        return [self.next_instance() for _ in range(n)]
+        """Collect up to ``n`` instances into a list.
+
+        A finite stream that runs out mid-way returns the remaining instances
+        instead of raising.
+        """
+        out: list[Instance] = []
+        for _ in range(n):
+            try:
+                out.append(self.next_instance())
+            except StopIteration:
+                break
+        return out
 
 
 class ListStream(DataStream):
     """A finite stream backed by an in-memory list of instances.
 
-    Useful for tests and for replaying previously materialised streams.  The
-    stream raises :class:`StopIteration` once exhausted.
+    Useful for tests and for replaying previously materialised streams.
+    :meth:`next_instance` raises :class:`StopIteration` once exhausted;
+    :meth:`generate_batch` and iteration terminate cleanly instead.
     """
 
     def __init__(
@@ -175,6 +276,8 @@ class ListStream(DataStream):
             )
         super().__init__(schema, seed=None)
         self._instances = list(instances)
+        self._features = np.vstack([inst.x for inst in self._instances])
+        self._labels = np.asarray([inst.y for inst in self._instances], dtype=np.int64)
         self._cursor = 0
 
     def restart(self) -> None:
@@ -187,6 +290,13 @@ class ListStream(DataStream):
         instance = self._instances[self._cursor]
         self._cursor += 1
         return instance
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        end = min(self._cursor + n, len(self._instances))
+        features = self._features[self._cursor : end].copy()
+        labels = self._labels[self._cursor : end].copy()
+        self._cursor = end
+        return features, labels
 
     def __len__(self) -> int:
         return len(self._instances)

@@ -120,11 +120,27 @@ class ConceptDriftStream(DriftingStream):
         self._width = 0 if kind == "sudden" else max(1, width)
         self._kind = kind
         self._drift_points = [position]
+        # Rows drawn from one source but not yet emitted (a finite *other*
+        # source exhausted mid-batch); served before new draws so no data is
+        # silently dropped.
+        self._carry: dict[bool, tuple[np.ndarray, np.ndarray] | None] = {
+            False: None,
+            True: None,
+        }
+        # Concept-choice decisions drawn for positions not yet emitted (batch
+        # truncated by an exhausted source).  Replayed before fresh RNG draws
+        # so batch and per-instance paths stay bit-identical even on finite
+        # sources: the position that selected the exhausted source keeps
+        # selecting it, terminating the stream exactly where the per-instance
+        # path raises StopIteration.
+        self._pending_decisions: np.ndarray | None = None
 
     def restart(self) -> None:
         super().restart()
         self._base.restart()
         self._drift.restart()
+        self._carry = {False: None, True: None}
+        self._pending_decisions = None
 
     def _new_concept_probability(self, t: int) -> float:
         if t < self._drift_position:
@@ -137,11 +153,107 @@ class ConceptDriftStream(DriftingStream):
             return float(1.0 / (1.0 + np.exp(-4.0 * (2.0 * progress - 1.0))))
         return float(progress)
 
+    def _new_concept_probabilities(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_new_concept_probability` over many positions."""
+        after = positions >= self._drift_position + self._width
+        probabilities = after.astype(np.float64)
+        if self._width > 0:
+            inside = (positions >= self._drift_position) & ~after
+            progress = (positions[inside] - self._drift_position) / self._width
+            if self._kind == "incremental":
+                probabilities[inside] = 1.0 / (
+                    1.0 + np.exp(-4.0 * (2.0 * progress - 1.0))
+                )
+            else:
+                probabilities[inside] = progress
+        return probabilities
+
+    def _take_from_source(self, from_new: bool, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch ``count`` rows, serving carried-over rows before new draws."""
+        source = self._drift if from_new else self._base
+        carry = self._carry[from_new]
+        if carry is None:
+            return source.generate_batch(count) if count else source._empty_batch()
+        carry_x, carry_y = carry
+        if carry_y.shape[0] >= count:
+            self._carry[from_new] = (
+                (carry_x[count:], carry_y[count:])
+                if carry_y.shape[0] > count
+                else None
+            )
+            return carry_x[:count], carry_y[:count]
+        self._carry[from_new] = None
+        fresh_x, fresh_y = source.generate_batch(count - carry_y.shape[0])
+        return np.vstack([carry_x, fresh_x]), np.concatenate([carry_y, fresh_y])
+
+    def _stash_leftover(self, from_new: bool, features: np.ndarray, labels: np.ndarray, used: int) -> None:
+        """Keep drawn-but-unemitted rows for the next call (never drop data)."""
+        if labels.shape[0] > used:
+            self._carry[from_new] = (features[used:], labels[used:])
+
+    def _next_decisions(self, n: int) -> np.ndarray:
+        """Concept choices for the next ``n`` positions: replay pending ones
+        first, then draw fresh uniforms — the same consumption order as ``n``
+        per-instance draws."""
+        pending = self._pending_decisions
+        if pending is None:
+            head = np.empty(0, dtype=bool)
+        else:
+            take = min(n, pending.shape[0])
+            head = pending[:take]
+            self._pending_decisions = pending[take:] if take < pending.shape[0] else None
+        fresh_count = n - head.shape[0]
+        if fresh_count == 0:
+            return head
+        positions = self._position + head.shape[0] + np.arange(fresh_count)
+        fresh = self._rng.random(fresh_count) < self._new_concept_probabilities(
+            positions
+        )
+        return np.concatenate([head, fresh])
+
     def _generate(self) -> Instance:
-        probability = self._new_concept_probability(self._position)
-        use_new = self._rng.random() < probability
-        source = self._drift if use_new else self._base
-        return source.next_instance()
+        use_new = bool(self._next_decisions(1)[0])
+        features, labels = self._take_from_source(use_new, 1)
+        if labels.shape[0] == 0:
+            # The selected source is exhausted; keep the decision pending so
+            # the exhausted choice stays terminal (as for the batch path).
+            self._pending_decisions = np.concatenate(
+                [np.array([use_new]), self._pending_decisions]
+            ) if self._pending_decisions is not None else np.array([use_new])
+            raise StopIteration(f"stream '{self.name}' exhausted")
+        return Instance(x=features[0], y=int(labels[0]))
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        use_new = self._next_decisions(n)
+        n_new = int(use_new.sum())
+        n_old = n - n_new
+        old_x, old_y = self._take_from_source(False, n_old)
+        new_x, new_y = self._take_from_source(True, n_new)
+        # A finite source may come up short; emit the longest prefix of rows
+        # whose source instance actually arrived and carry the rest over so
+        # nothing already drawn is lost.
+        ordinal_new = np.cumsum(use_new) - use_new
+        ordinal_old = np.cumsum(~use_new) - ~use_new
+        valid = np.where(
+            use_new, ordinal_new < new_y.shape[0], ordinal_old < old_y.shape[0]
+        )
+        keep = n if valid.all() else int(np.argmin(valid))
+        if keep < n:
+            # Undecided tail: replayed by the next call so the exhausted
+            # selection at position `keep` stays in force (terminal stream).
+            self._pending_decisions = use_new[keep:]
+        use_new = use_new[:keep]
+        kept_new = int(use_new.sum())
+        kept_old = keep - kept_new
+        self._stash_leftover(True, new_x, new_y, kept_new)
+        self._stash_leftover(False, old_x, old_y, kept_old)
+        features = np.empty((keep, self.n_features))
+        labels = np.empty(keep, dtype=np.int64)
+        features[use_new] = new_x[:kept_new]
+        labels[use_new] = new_y[:kept_new]
+        features[~use_new] = old_x[:kept_old]
+        labels[~use_new] = old_y[:kept_old]
+        return features, labels
 
 
 class ConceptScheduleStream(DriftingStream):
@@ -178,15 +290,41 @@ class ConceptScheduleStream(DriftingStream):
         self._generator.restart()
         self._next_switch = 0
 
-    def _generate(self) -> Instance:
+    def _apply_due_switches(self, position: int) -> None:
         while (
             self._next_switch < len(self._schedule)
-            and self._schedule[self._next_switch][0] <= self._position
+            and self._schedule[self._next_switch][0] <= position
         ):
             _, concept = self._schedule[self._next_switch]
             self._generator.set_concept(concept)
             self._next_switch += 1
+
+    def _generate(self) -> Instance:
+        self._apply_due_switches(self._position)
         return self._generator.next_instance()
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        features: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        produced = 0
+        while produced < n:
+            position = self._position + produced
+            self._apply_due_switches(position)
+            if self._next_switch < len(self._schedule):
+                segment = min(n - produced, self._schedule[self._next_switch][0] - position)
+            else:
+                segment = n - produced
+            segment_x, segment_y = self._generator.generate_batch(segment)
+            if segment_y.shape[0] == 0:
+                break
+            features.append(segment_x)
+            labels.append(segment_y)
+            produced += int(segment_y.shape[0])
+            if segment_y.shape[0] < segment:
+                break
+        if not features:
+            return self._empty_batch()
+        return np.vstack(features), np.concatenate(labels)
 
 
 class RecurringDriftStream(DriftingStream):
@@ -232,6 +370,30 @@ class RecurringDriftStream(DriftingStream):
             self._generator.set_concept(self._concepts[index])
             self._current_index = index
         return self._generator.next_instance()
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        features: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        produced = 0
+        while produced < n:
+            position = self._position + produced
+            index = (position // self._period) % len(self._concepts)
+            if index != self._current_index:
+                self._generator.set_concept(self._concepts[index])
+                self._current_index = index
+            boundary = (position // self._period + 1) * self._period
+            segment = min(n - produced, boundary - position)
+            segment_x, segment_y = self._generator.generate_batch(segment)
+            if segment_y.shape[0] == 0:
+                break
+            features.append(segment_x)
+            labels.append(segment_y)
+            produced += int(segment_y.shape[0])
+            if segment_y.shape[0] < segment:
+                break
+        if not features:
+            return self._empty_batch()
+        return np.vstack(features), np.concatenate(labels)
 
 
 class LocalDriftStream(DriftingStream):
@@ -317,3 +479,19 @@ class LocalDriftStream(DriftingStream):
             # The new concept may not produce this class at all (extreme
             # cases); fall back to the old-concept instance rather than hang.
             return anchor
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        features, labels = self._old.generate_batch(n)
+        positions = self._position + np.arange(labels.shape[0])
+        # Only rows of drifted classes consult the wrapper RNG / new concept,
+        # in row order — the same consumption as the per-instance path.
+        for i in np.flatnonzero(np.isin(labels, self._drifted)):
+            probability = self._new_concept_probability(int(positions[i]))
+            if probability <= 0.0 or self._rng.random() >= probability:
+                continue
+            try:
+                replacement = sample_instance_of_class(self._new, int(labels[i]))
+            except RuntimeError:
+                continue
+            features[i] = replacement.x
+        return features, labels

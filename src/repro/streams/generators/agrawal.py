@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["AgrawalGenerator"]
 
@@ -126,13 +127,51 @@ class AgrawalGenerator(DataStream):
         raw = float(self._weights @ ingredients)
         return 1.0 / (1.0 + np.exp(-3.0 * raw))
 
-    def _generate(self) -> Instance:
-        n_blocks = int(np.ceil(self.n_features / _BASE_BLOCK_FEATURES))
-        blocks = [self._sample_block() for _ in range(n_blocks)]
-        features = np.concatenate(blocks)[: self.n_features]
-        score = self._score(blocks[0])
-        label = int(np.searchsorted(self._bin_edges, score))
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        n_features = self.n_features
+        n_blocks = int(np.ceil(n_features / _BASE_BLOCK_FEATURES))
+        block_cols = _BASE_BLOCK_FEATURES * n_blocks
+        perturb_cols = vo.n_normal_columns(n_features) if self._perturbation > 0.0 else 0
+        u = self._rng.random((n, block_cols + perturb_cols))
+        raw = u[:, :block_cols].reshape(n, n_blocks, _BASE_BLOCK_FEATURES)
+
+        salary = vo.scale_uniform(raw[..., 0], 20_000, 150_000)
+        # The commission uniform is always consumed (fixed draw budget per
+        # instance); high earners have it zeroed, preserving the original
+        # conditional distribution.
+        commission = np.where(
+            salary >= 75_000, 0.0, vo.scale_uniform(raw[..., 1], 10_000, 75_000)
+        )
+        age = vo.uniform_integers(raw[..., 2], 20, 81).astype(np.float64)
+        elevel = vo.uniform_integers(raw[..., 3], 0, 5).astype(np.float64)
+        car = vo.uniform_integers(raw[..., 4], 1, 21).astype(np.float64)
+        zipcode = vo.uniform_integers(raw[..., 5], 0, 9).astype(np.float64)
+        hvalue = (9.0 - zipcode) * 100_000 * vo.scale_uniform(raw[..., 6], 0.5, 1.5)
+        hyears = vo.uniform_integers(raw[..., 7], 1, 31).astype(np.float64)
+        loan = vo.scale_uniform(raw[..., 8], 0.0, 500_000)
+
+        blocks = np.stack(
+            [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan],
+            axis=-1,
+        )  # (n, n_blocks, 9)
+        features = blocks.reshape(n, block_cols)[:, :n_features].copy()
+
+        ingredients = np.stack(
+            [
+                salary[:, 0] / 150_000.0,
+                commission[:, 0] / 75_000.0,
+                age[:, 0] / 80.0,
+                elevel[:, 0] / 4.0,
+                (hvalue[:, 0] / 1_350_000.0) - (loan[:, 0] / 500_000.0),
+                hyears[:, 0] / 30.0,
+            ],
+            axis=1,
+        )
+        raw_scores = np.sum(ingredients * self._weights, axis=1)
+        scores = 1.0 / (1.0 + np.exp(-3.0 * raw_scores))
+        labels = np.searchsorted(self._bin_edges, scores).astype(np.int64)
+
         if self._perturbation > 0.0:
-            noise = self._rng.normal(0.0, self._perturbation, size=features.shape)
-            features = features * (1.0 + noise)
-        return Instance(x=features, y=label)
+            noise = vo.normals_from_uniform(u[:, block_cols:], n_features)
+            features = features * (1.0 + noise * self._perturbation)
+        return features, labels

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["HyperplaneGenerator"]
 
@@ -77,20 +78,50 @@ class HyperplaneGenerator(DataStream):
         self._concept = concept
         self._init_concept(concept)
 
-    def _generate(self) -> Instance:
-        x = self._rng.uniform(0.0, 1.0, size=self.n_features)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        n_features = self.n_features
+        noisy = self._noise > 0.0
+        drifting = self._mag_change > 0.0
+        noise_cols = 2 if noisy else 0
+        drift_cols = n_features if drifting else 0
+        u = self._rng.random((n, n_features + noise_cols + drift_cols))
+        features = u[:, :n_features].copy()
+
+        if drifting:
+            # The hyperplane moves after every instance and the per-weight
+            # drift direction can flip; unroll the recurrence with cumulative
+            # products/sums so instance i sees the weights as of step i.
+            flips = u[:, n_features + noise_cols :] < self._sigma
+            signs = np.where(flips, -1.0, 1.0)
+            cumulative_signs = np.cumprod(signs, axis=0)
+            directions = self._directions * np.vstack(
+                [np.ones(n_features), cumulative_signs[:-1]]
+            )
+            # cumsum seeded with the current weights is a sequential left
+            # fold, so the trajectory (and its float rounding) is identical
+            # to n per-instance `weights += mag * direction` updates.
+            trajectory = np.cumsum(
+                np.vstack([self._weights[None, :], self._mag_change * directions]),
+                axis=0,
+            )
+            weights = trajectory[:-1]
+            self._weights = trajectory[-1]
+            self._directions = self._directions * cumulative_signs[-1]
+            norms = np.sum(np.abs(weights), axis=1) + 1e-12
+            margins = np.sum(weights * (features - 0.5), axis=1) / norms
+        else:
+            # Explicit elementwise-multiply-and-reduce rather than a matmul:
+            # the reduction pattern (and hence rounding) is then independent
+            # of the batch size, keeping batch(n) == n x batch(1) bitwise.
+            norm = np.sum(np.abs(self._weights)) + 1e-12
+            margins = np.sum((features - 0.5) * self._weights, axis=1) / norm
+
         # Signed, weight-normalised distance from the hyperplane through the
         # centre of the hypercube, mapped to [0, 1].
-        norm = np.sum(np.abs(self._weights)) + 1e-12
-        margin = float(self._weights @ (x - 0.5)) / norm
-        score = 0.5 + margin  # in [0, 1] approximately
-        score = float(np.clip(score, 0.0, 1.0 - 1e-9))
-        label = int(score * self.n_classes)
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = int(self._rng.integers(self.n_classes))
-        # Incremental concept drift: move the hyperplane.
-        if self._mag_change > 0.0:
-            self._weights += self._directions * self._mag_change
-            flips = self._rng.random(self.n_features) < self._sigma
-            self._directions[flips] *= -1.0
-        return Instance(x=x, y=label)
+        score = np.clip(0.5 + margins, 0.0, 1.0 - 1e-9)
+        labels = (score * self.n_classes).astype(np.int64)
+        if noisy:
+            flip = u[:, n_features] < self._noise
+            random_labels = vo.uniform_integers(u[:, n_features + 1], self.n_classes)
+            labels = np.where(flip, random_labels, labels)
+        return features, labels

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["LEDGenerator"]
 
@@ -87,11 +88,12 @@ class LEDGenerator(DataStream):
     def n_drift_attributes(self) -> int:
         return self._n_drift
 
-    def _generate(self) -> Instance:
-        digit = int(self._rng.integers(10))
-        segments = _SEGMENTS[digit].copy()
-        flips = self._rng.random(7) < self._noise
-        segments[flips] = 1.0 - segments[flips]
-        irrelevant = self._rng.integers(0, 2, size=self._n_irrelevant).astype(np.float64)
-        x = np.concatenate([segments, irrelevant])[self._permutation]
-        return Instance(x=x, y=digit)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        u = self._rng.random((n, 8 + self._n_irrelevant))
+        digits = vo.uniform_integers(u[:, 0], 10)
+        segments = _SEGMENTS[digits]
+        flips = u[:, 1:8] < self._noise
+        segments = np.where(flips, 1.0 - segments, segments)
+        irrelevant = np.floor(u[:, 8:] * 2.0)
+        features = np.concatenate([segments, irrelevant], axis=1)[:, self._permutation]
+        return features, digits

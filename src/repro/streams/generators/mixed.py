@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["MixedGenerator"]
 
@@ -41,19 +41,23 @@ class MixedGenerator(DataStream):
             raise ValueError("MIXED has exactly two concepts: 0 and 1")
         self._concept = concept
 
-    def _generate(self) -> Instance:
-        v = float(self._rng.integers(2))
-        w = float(self._rng.integers(2))
-        x1 = float(self._rng.random())
-        x2 = float(self._rng.random())
-        conditions = [
-            v == 1.0,
-            w == 1.0,
-            x2 < 0.5 + 0.3 * np.sin(3.0 * np.pi * x1),
-        ]
-        label = int(sum(conditions) >= 2)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        noisy = self._noise > 0.0
+        u = self._rng.random((n, 4 + (1 if noisy else 0)))
+        v = np.floor(u[:, 0] * 2.0)
+        w = np.floor(u[:, 1] * 2.0)
+        x1 = u[:, 2]
+        x2 = u[:, 3]
+        conditions = (
+            (v == 1.0).astype(np.int64)
+            + (w == 1.0).astype(np.int64)
+            + (x2 < 0.5 + 0.3 * np.sin(3.0 * np.pi * x1)).astype(np.int64)
+        )
+        labels = (conditions >= 2).astype(np.int64)
         if self._concept == 1:
-            label = 1 - label
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = 1 - label
-        return Instance(x=np.array([v, w, x1, x2]), y=label)
+            labels = 1 - labels
+        if noisy:
+            flip = u[:, 4] < self._noise
+            labels = np.where(flip, 1 - labels, labels)
+        features = np.stack([v, w, x1, x2], axis=1)
+        return features, labels

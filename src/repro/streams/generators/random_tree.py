@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["RandomTreeGenerator"]
 
@@ -125,9 +126,34 @@ class RandomTreeGenerator(DataStream):
             assert node is not None
         return node.label
 
-    def _generate(self) -> Instance:
-        x = self._rng.uniform(0.0, 1.0, size=self.n_features)
-        label = self._classify(x)
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = int(self._rng.integers(self.n_classes))
-        return Instance(x=x, y=label)
+    def _classify_batch(self, features: np.ndarray) -> np.ndarray:
+        """Route a whole batch through the tree with index masks per node."""
+        labels = np.empty(features.shape[0], dtype=np.int64)
+        stack: list[tuple[_Node, np.ndarray]] = [
+            (self._root, np.arange(features.shape[0]))
+        ]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                labels[idx] = node.label
+                continue
+            go_left = features[idx, node.feature] <= node.threshold
+            assert node.left is not None and node.right is not None
+            stack.append((node.left, idx[go_left]))
+            stack.append((node.right, idx[~go_left]))
+        return labels
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        noisy = self._noise > 0.0
+        u = self._rng.random((n, self.n_features + (2 if noisy else 0)))
+        features = u[:, : self.n_features].copy()
+        labels = self._classify_batch(features)
+        if noisy:
+            flip = u[:, self.n_features] < self._noise
+            random_labels = vo.uniform_integers(
+                u[:, self.n_features + 1], self.n_classes
+            )
+            labels = np.where(flip, random_labels, labels)
+        return features, labels

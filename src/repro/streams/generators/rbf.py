@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["RandomRBFGenerator"]
 
@@ -87,6 +88,15 @@ class RandomRBFGenerator(DataStream):
             )
         weights = np.array([c.weight for c in self._centroids])
         self._probs = weights / weights.sum()
+        self._refresh_centroid_arrays()
+
+    def _refresh_centroid_arrays(self) -> None:
+        """Dense views of the centroid list used by the vectorized batch path."""
+        self._centres = np.stack([c.centre for c in self._centroids])
+        self._std_devs = np.array([c.std_dev for c in self._centroids])
+        self._labels = np.array(
+            [c.class_label for c in self._centroids], dtype=np.int64
+        )
 
     @property
     def concept(self) -> int:
@@ -101,13 +111,31 @@ class RandomRBFGenerator(DataStream):
         """Return the centres currently assigned to ``label`` (for inspection)."""
         return [c.centre.copy() for c in self._centroids if c.class_label == label]
 
-    def _generate(self) -> Instance:
-        idx = int(self._rng.choice(len(self._centroids), p=self._probs))
-        centroid = self._centroids[idx]
-        offset = self._rng.normal(0.0, centroid.std_dev, size=self.n_features)
-        x = np.clip(centroid.centre + offset, 0.0, 1.0)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        n_features = self.n_features
+        normal_cols = vo.n_normal_columns(n_features)
+        u = self._rng.random((n, 1 + normal_cols))
+        idx = vo.categorical_from_uniform(u[:, 0], self._probs)
+        offsets = vo.normals_from_uniform(u[:, 1:], n_features)
+        labels = self._labels[idx]
         if self._centroid_speed > 0.0:
-            centroid.centre = np.clip(
-                centroid.centre + centroid.direction * self._centroid_speed, 0.0, 1.0
+            # Incremental drift moves the sampled centroid after every draw,
+            # a sequential recurrence; iterate, but reuse the pre-drawn
+            # uniform block so the RNG consumption stays batch-invariant.
+            features = np.empty((n, n_features))
+            for i in range(n):
+                centroid = self._centroids[int(idx[i])]
+                features[i] = np.clip(
+                    centroid.centre + offsets[i] * centroid.std_dev, 0.0, 1.0
+                )
+                centroid.centre = np.clip(
+                    centroid.centre + centroid.direction * self._centroid_speed,
+                    0.0,
+                    1.0,
+                )
+            self._refresh_centroid_arrays()
+        else:
+            features = np.clip(
+                self._centres[idx] + offsets * self._std_devs[idx, None], 0.0, 1.0
             )
-        return Instance(x=x, y=centroid.class_label)
+        return features, labels

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["SEAGenerator"]
 
@@ -75,9 +76,15 @@ class SEAGenerator(DataStream):
         self._concept = concept
         self._recompute_edges()
 
-    def _generate(self) -> Instance:
-        x = self._rng.uniform(0.0, 10.0, size=self.n_features)
-        label = int(np.searchsorted(self._edges, x[0] + x[1]))
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = int(self._rng.integers(self.n_classes))
-        return Instance(x=x, y=label)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        n_features = self.n_features
+        noisy = self._noise > 0.0
+        u = self._rng.random((n, n_features + (2 if noisy else 0)))
+        features = vo.scale_uniform(u[:, :n_features], 0.0, 10.0)
+        labels = np.searchsorted(self._edges, features[:, 0] + features[:, 1])
+        labels = labels.astype(np.int64)
+        if noisy:
+            flip = u[:, n_features] < self._noise
+            random_labels = vo.uniform_integers(u[:, n_features + 1], self.n_classes)
+            labels = np.where(flip, random_labels, labels)
+        return features, labels

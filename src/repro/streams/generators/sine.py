@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["SineGenerator"]
 
@@ -54,18 +55,22 @@ class SineGenerator(DataStream):
             raise ValueError(f"concept must be in [0, 4), got {concept}")
         self._concept = concept
 
-    def _curve(self, x1: float) -> float:
+    def _curve(self, x1: np.ndarray) -> np.ndarray:
         if self._concept % 2 == 0:
             return 0.5 + 0.4 * np.sin(2.0 * np.pi * x1)
         return 0.5 + 0.3 * np.sin(3.0 * np.pi * x1)
 
-    def _generate(self) -> Instance:
-        x = self._rng.uniform(0.0, 1.0, size=2)
-        distance = float(x[1] - self._curve(x[0]))  # in roughly [-1, 1]
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        noisy = self._noise > 0.0
+        u = self._rng.random((n, 2 + (2 if noisy else 0)))
+        features = u[:, :2].copy()
+        distance = features[:, 1] - self._curve(features[:, 0])  # roughly [-1, 1]
         if self._concept >= 2:
             distance = -distance
-        score = float(np.clip((distance + 1.0) / 2.0, 0.0, 1.0 - 1e-9))
-        label = int(score * self.n_classes)
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = int(self._rng.integers(self.n_classes))
-        return Instance(x=x, y=label)
+        score = np.clip((distance + 1.0) / 2.0, 0.0, 1.0 - 1e-9)
+        labels = (score * self.n_classes).astype(np.int64)
+        if noisy:
+            flip = u[:, 2] < self._noise
+            random_labels = vo.uniform_integers(u[:, 3], self.n_classes)
+            labels = np.where(flip, random_labels, labels)
+        return features, labels

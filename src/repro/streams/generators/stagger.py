@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["StaggerGenerator"]
 
@@ -81,19 +82,28 @@ class StaggerGenerator(DataStream):
             size in (1, 2),
         )
 
-    def _generate(self) -> Instance:
-        size = int(self._rng.integers(3))
-        colour = int(self._rng.integers(3))
-        shape = int(self._rng.integers(3))
-        x = np.zeros(9)
-        x[size] = 1.0
-        x[3 + colour] = 1.0
-        x[6 + shape] = 1.0
-        predicates = self._predicates(size, colour, shape)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        noisy = self._noise > 0.0
+        u = self._rng.random((n, 3 + (2 if noisy else 0)))
+        size = vo.uniform_integers(u[:, 0], 3)
+        colour = vo.uniform_integers(u[:, 1], 3)
+        shape = vo.uniform_integers(u[:, 2], 3)
+        features = np.zeros((n, 9))
+        rows = np.arange(n)
+        features[rows, size] = 1.0
+        features[rows, 3 + colour] = 1.0
+        features[rows, 6 + shape] = 1.0
+        predicates = (
+            (size == 0) & (colour == 0),
+            (colour == 1) | (shape == 1),
+            size >= 1,
+        )
         if self._multi_class:
-            label = int(sum(predicates))
+            labels = sum(p.astype(np.int64) for p in predicates)
         else:
-            label = int(predicates[self._concept])
-        if self._noise > 0.0 and self._rng.random() < self._noise:
-            label = int(self._rng.integers(self.n_classes))
-        return Instance(x=x, y=label)
+            labels = predicates[self._concept].astype(np.int64)
+        if noisy:
+            flip = u[:, 3] < self._noise
+            random_labels = vo.uniform_integers(u[:, 4], self.n_classes)
+            labels = np.where(flip, random_labels, labels)
+        return features, labels

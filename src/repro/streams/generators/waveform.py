@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams import vector_ops as vo
+from repro.streams.base import DataStream, StreamSchema
 
 __all__ = ["WaveformGenerator"]
 
@@ -49,14 +50,21 @@ class WaveformGenerator(DataStream):
         super().__init__(schema, seed)
         self._add_noise = add_noise_features
         self._waves = _base_waveforms()
+        self._pair_table = np.array(self._PAIRS, dtype=np.int64)
 
-    def _generate(self) -> Instance:
-        label = int(self._rng.integers(3))
-        a, b = self._PAIRS[label]
-        mix = float(self._rng.random())
-        signal = mix * self._waves[a] + (1.0 - mix) * self._waves[b]
-        signal = signal + self._rng.normal(0.0, 1.0, size=_N_POSITIONS)
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        signal_cols = vo.n_normal_columns(_N_POSITIONS)
+        extra_cols = vo.n_normal_columns(19) if self._add_noise else 0
+        u = self._rng.random((n, 2 + signal_cols + extra_cols))
+        labels = vo.uniform_integers(u[:, 0], 3)
+        mix = u[:, 1][:, None]
+        first = self._waves[self._pair_table[labels, 0]]
+        second = self._waves[self._pair_table[labels, 1]]
+        signal = mix * first + (1.0 - mix) * second
+        signal = signal + vo.normals_from_uniform(
+            u[:, 2 : 2 + signal_cols], _N_POSITIONS
+        )
         if self._add_noise:
-            noise = self._rng.normal(0.0, 1.0, size=19)
-            signal = np.concatenate([signal, noise])
-        return Instance(x=signal, y=label)
+            noise = vo.normals_from_uniform(u[:, 2 + signal_cols :], 19)
+            signal = np.concatenate([signal, noise], axis=1)
+        return signal, labels

@@ -225,9 +225,8 @@ class ImbalancedStream(DataStream):
             self._buffers[instance.y].append(instance)
         return None
 
-    def _generate(self) -> Instance:
-        priors = self._profile.priors(self._position)
-        wanted = int(self._rng.choice(self.n_classes, p=priors))
+    def _emit(self, wanted: int) -> Instance:
+        """Produce one instance of (ideally) class ``wanted``."""
         if self._buffers[wanted]:
             return self._buffers[wanted].pop()  # newest first: stay current
         instance = self._draw_from_base(wanted)
@@ -240,3 +239,19 @@ class ImbalancedStream(DataStream):
             # Extremely degenerate base stream; emit whatever it produces.
             return self._base.next_instance()
         return self._buffers[best].pop()
+
+    def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        # One uniform per emitted instance, drawn as a block; the target class
+        # comes from the inverse CDF of the position-dependent priors, so the
+        # wrapper's RNG consumption is identical for any batch split.
+        u = self._rng.random(n)
+        features = np.empty((n, self.n_features))
+        labels = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            priors = self._profile.priors(self._position + i)
+            cdf = np.cumsum(priors)
+            wanted = min(int(np.searchsorted(cdf, u[i], side="right")), self.n_classes - 1)
+            instance = self._emit(wanted)
+            features[i] = instance.x
+            labels[i] = instance.y
+        return features, labels

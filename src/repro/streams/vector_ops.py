@@ -1,0 +1,92 @@
+"""Vectorized random-variate helpers with a fixed per-instance draw budget.
+
+Every batch-primitive generator in :mod:`repro.streams.generators` draws its
+randomness as **one contiguous block of uniform doubles per instance**:
+``rng.random((n, k))`` where ``k`` is a constant determined by the generator's
+configuration.  NumPy's PCG64 bit generator fills arrays row-major from a
+sequential double stream, so ``rng.random((n, k))`` consumes exactly the same
+doubles as ``n`` successive ``rng.random((1, k))`` calls — which is what makes
+``generate_batch(n)`` bit-identical to ``n`` calls of ``next_instance()``.
+
+The helpers below turn columns of that uniform block into the variates the
+generators need (bounded integers, scaled uniforms, Gaussians via Box–Muller,
+categorical draws via inverse CDF) without consuming any additional
+randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "scale_uniform",
+    "uniform_integers",
+    "n_normal_columns",
+    "normals_from_uniform",
+    "categorical_from_uniform",
+]
+
+
+def scale_uniform(u: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Map uniforms in ``[0, 1)`` to ``[low, high)``."""
+    return low + (high - low) * u
+
+
+def uniform_integers(u: np.ndarray, low: int, high: int | None = None) -> np.ndarray:
+    """Map uniforms in ``[0, 1)`` to integers in ``[low, high)``.
+
+    With ``high`` omitted the range is ``[0, low)``, mirroring
+    ``rng.integers``.  Uses the floor transform, which is deterministic given
+    the uniform column (unlike rejection sampling) and therefore batch/instance
+    consistent by construction.
+    """
+    if high is None:
+        low, high = 0, low
+    if high <= low:
+        raise ValueError(f"empty integer range [{low}, {high})")
+    values = low + np.floor(u * (high - low)).astype(np.int64)
+    # u < 1 guarantees values < high mathematically; guard against float
+    # rounding at the top of very wide ranges anyway.
+    return np.minimum(values, high - 1)
+
+
+def n_normal_columns(n_out: int) -> int:
+    """Uniform columns needed to produce ``n_out`` Gaussians via Box–Muller."""
+    if n_out < 0:
+        raise ValueError("n_out must be >= 0")
+    return 2 * ((n_out + 1) // 2)
+
+
+def normals_from_uniform(u: np.ndarray, n_out: int) -> np.ndarray:
+    """Turn ``(..., 2*ceil(n_out/2))`` uniforms into ``(..., n_out)`` Gaussians.
+
+    Box–Muller on pairs of uniforms: entirely element-wise, so the mapping
+    from uniform block to Gaussian block is identical whether the block holds
+    one row or many.
+    """
+    expected = n_normal_columns(n_out)
+    if u.shape[-1] != expected:
+        raise ValueError(
+            f"need {expected} uniform columns for {n_out} normals, got {u.shape[-1]}"
+        )
+    if n_out == 0:
+        return u[..., :0]
+    half = expected // 2
+    u1 = u[..., :half]
+    u2 = u[..., half:]
+    # 1 - u1 is in (0, 1], so the log is finite.
+    radius = np.sqrt(-2.0 * np.log1p(-u1))
+    angle = 2.0 * np.pi * u2
+    z = np.concatenate([radius * np.cos(angle), radius * np.sin(angle)], axis=-1)
+    return z[..., :n_out]
+
+
+def categorical_from_uniform(u: np.ndarray, probabilities: np.ndarray) -> np.ndarray:
+    """Draw category indices from uniforms via the inverse CDF.
+
+    ``probabilities`` must sum to ~1; floating error at the top of the CDF is
+    absorbed by clipping to the last category.
+    """
+    cdf = np.cumsum(np.asarray(probabilities, dtype=np.float64))
+    idx = np.searchsorted(cdf, u, side="right")
+    return np.minimum(idx, len(cdf) - 1).astype(np.int64)

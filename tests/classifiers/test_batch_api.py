@@ -1,0 +1,143 @@
+"""Batch interface of the streaming classifiers.
+
+The default adapters must be exactly equivalent to per-instance calls; the
+native vectorized paths (naive Bayes, perceptron) must agree with the
+sequential semantics they document (moment merging for NB, mini-batch SGD for
+the perceptron).
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    GaussianNaiveBayes,
+    MajorityClassClassifier,
+    NoChangeClassifier,
+)
+from repro.classifiers.perceptron import OnlinePerceptron
+from repro.classifiers.perceptron_tree import CostSensitivePerceptronTree
+from repro.streams.generators import RandomRBFGenerator
+
+
+@pytest.fixture(scope="module")
+def data():
+    features, labels = RandomRBFGenerator(
+        n_classes=4, n_features=6, seed=0
+    ).generate_batch(600)
+    return features, labels
+
+
+DEFAULT_ADAPTER_FACTORIES = [
+    lambda: MajorityClassClassifier(6, 4),
+    lambda: NoChangeClassifier(6, 4),
+    lambda: CostSensitivePerceptronTree(
+        n_features=6, n_classes=4, grace_period=50, max_depth=2, seed=1
+    ),
+]
+
+
+@pytest.mark.parametrize("factory", DEFAULT_ADAPTER_FACTORIES)
+def test_default_adapter_identical_to_loop(factory, data):
+    features, labels = data
+    batch_model = factory()
+    loop_model = factory()
+    batch_model.partial_fit_batch(features[:400], labels[:400])
+    for i in range(400):
+        loop_model.partial_fit(features[i], int(labels[i]))
+    batch_scores = batch_model.predict_proba_batch(features[400:])
+    loop_scores = np.vstack(
+        [loop_model.predict_proba(features[i]) for i in range(400, 600)]
+    )
+    np.testing.assert_array_equal(batch_scores, loop_scores)
+
+
+def test_predict_batch_matches_argmax(data):
+    features, labels = data
+    model = GaussianNaiveBayes(6, 4)
+    model.partial_fit_batch(features[:400], labels[:400])
+    predictions = model.predict_batch(features[400:])
+    assert predictions.shape == (200,)
+    np.testing.assert_array_equal(
+        predictions, np.argmax(model.predict_proba_batch(features[400:]), axis=1)
+    )
+
+
+class TestNaiveBayesNativeBatch:
+    def test_moments_match_sequential(self, data):
+        features, labels = data
+        batch_model = GaussianNaiveBayes(6, 4)
+        loop_model = GaussianNaiveBayes(6, 4)
+        batch_model.partial_fit_batch(features, labels)
+        for i in range(600):
+            loop_model.partial_fit(features[i], int(labels[i]))
+        np.testing.assert_allclose(batch_model._counts, loop_model._counts)
+        np.testing.assert_allclose(
+            batch_model._means, loop_model._means, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            batch_model._m2, loop_model._m2, rtol=1e-8, atol=1e-10
+        )
+
+    def test_batch_proba_matches_instance_proba(self, data):
+        features, labels = data
+        model = GaussianNaiveBayes(6, 4)
+        model.partial_fit_batch(features[:500], labels[:500])
+        batch_scores = model.predict_proba_batch(features[500:])
+        loop_scores = np.vstack(
+            [model.predict_proba(features[i]) for i in range(500, 600)]
+        )
+        np.testing.assert_allclose(batch_scores, loop_scores, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(batch_scores.sum(axis=1), 1.0)
+
+    def test_weighted_batch(self, data):
+        features, labels = data
+        weighted = GaussianNaiveBayes(6, 4)
+        doubled = GaussianNaiveBayes(6, 4)
+        weighted.partial_fit_batch(
+            features[:100], labels[:100], weights=np.full(100, 2.0)
+        )
+        doubled.partial_fit_batch(
+            np.repeat(features[:100], 2, axis=0), np.repeat(labels[:100], 2)
+        )
+        np.testing.assert_allclose(weighted._counts, doubled._counts)
+        np.testing.assert_allclose(weighted._means, doubled._means, rtol=1e-10)
+
+    def test_unseen_class_guard(self):
+        model = GaussianNaiveBayes(3, 3)
+        model.partial_fit_batch(np.random.default_rng(0).random((20, 3)),
+                                np.zeros(20, dtype=np.int64))
+        scores = model.predict_proba_batch(np.random.default_rng(1).random((5, 3)))
+        assert np.all(np.argmax(scores, axis=1) == 0)
+
+
+class TestPerceptronNativeBatch:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(800, 4))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(np.int64)
+        model = OnlinePerceptron(4, 2, cost_sensitive=False, seed=0)
+        for start in range(0, 600, 50):
+            model.partial_fit_batch(
+                features[start : start + 50], labels[start : start + 50]
+            )
+        predictions = model.predict_batch(features[600:])
+        accuracy = float(np.mean(predictions == labels[600:]))
+        assert accuracy > 0.8
+
+    def test_batch_proba_matches_instance_proba(self, data):
+        features, labels = data
+        model = OnlinePerceptron(6, 4, seed=3)
+        model.partial_fit_batch(features[:500], labels[:500])
+        batch_scores = model.predict_proba_batch(features[500:510])
+        loop_scores = np.vstack(
+            [model.predict_proba(features[i]) for i in range(500, 510)]
+        )
+        np.testing.assert_allclose(batch_scores, loop_scores, rtol=1e-9, atol=1e-12)
+
+    def test_class_counts_accumulate(self, data):
+        features, labels = data
+        model = OnlinePerceptron(6, 4, seed=3)
+        model.partial_fit_batch(features, labels)
+        np.testing.assert_array_equal(
+            model.class_counts, np.bincount(labels, minlength=4).astype(float)
+        )

@@ -1,0 +1,133 @@
+"""Batch stepping of drift detectors.
+
+The default ``step_batch`` adapter loops over ``step`` and therefore must be
+exactly equivalent for every detector; RBM-IM's native override must produce
+bit-identical detections (flags, positions, blamed classes) for any split of
+the stream into batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RBMIM, RBMIMConfig
+from repro.detectors import ADWIN, DDM, DDM_OCI, EDDM, FHDDM, PerfSim, RDDM, WSTD
+from repro.streams.drift import ConceptScheduleStream
+from repro.streams.generators import RandomRBFGenerator, SEAGenerator
+
+
+@pytest.fixture(scope="module")
+def drifting_data():
+    """A stream with two sudden drifts plus a synthetic prediction stream."""
+    generator = RandomRBFGenerator(
+        n_classes=4, n_features=8, n_centroids=12, seed=3
+    )
+    stream = ConceptScheduleStream(generator, [(0, 0), (1_500, 6), (3_000, 2)])
+    features, labels = stream.generate_batch(4_500)
+    rng = np.random.default_rng(0)
+    predictions = np.where(
+        rng.random(labels.shape[0]) < 0.7, labels, rng.integers(0, 4, labels.shape[0])
+    ).astype(np.int64)
+    return features, labels, predictions
+
+
+ERROR_DETECTOR_FACTORIES = [
+    lambda: ADWIN(),
+    lambda: DDM(),
+    lambda: EDDM(),
+    lambda: FHDDM(),
+    lambda: RDDM(),
+    lambda: WSTD(window_size=75),
+    lambda: DDM_OCI(n_classes=4),
+    lambda: PerfSim(n_classes=4, batch_size=250),
+]
+
+
+@pytest.mark.parametrize("factory", ERROR_DETECTOR_FACTORIES)
+def test_default_adapter_matches_step_loop(factory, drifting_data):
+    features, labels, predictions = drifting_data
+    loop_detector = factory()
+    batch_detector = factory()
+    loop_flags = np.array(
+        [
+            loop_detector.step(features[i], int(labels[i]), int(predictions[i]))
+            for i in range(labels.shape[0])
+        ]
+    )
+    batch_flags = []
+    for start in range(0, labels.shape[0], 333):
+        batch_flags.append(
+            batch_detector.step_batch(
+                features[start : start + 333],
+                labels[start : start + 333],
+                predictions[start : start + 333],
+            )
+        )
+    np.testing.assert_array_equal(loop_flags, np.concatenate(batch_flags))
+    assert loop_detector.detections == batch_detector.detections
+    assert loop_detector.n_observations == batch_detector.n_observations
+
+
+class TestRBMIMNativeBatch:
+    def _detector(self):
+        return RBMIM(8, 4, RBMIMConfig(batch_size=25, seed=7))
+
+    def test_bit_identical_to_instance_stepping(self, drifting_data):
+        features, labels, predictions = drifting_data
+        loop_detector = self._detector()
+        batch_detector = self._detector()
+        loop_flags = np.array(
+            [
+                loop_detector.step(features[i], int(labels[i]), int(predictions[i]))
+                for i in range(labels.shape[0])
+            ]
+        )
+        batch_flags = []
+        # Deliberately misaligned split sizes relative to batch_size=25.
+        start = 0
+        for size in (7, 100, 1_003, 2_000, 10_000):
+            batch_flags.append(
+                batch_detector.step_batch(
+                    features[start : start + size],
+                    labels[start : start + size],
+                    predictions[start : start + size],
+                )
+            )
+            start += size
+            if start >= labels.shape[0]:
+                break
+        np.testing.assert_array_equal(loop_flags, np.concatenate(batch_flags))
+        assert loop_detector.detections == batch_detector.detections
+        assert loop_detector.detection_classes == batch_detector.detection_classes
+        assert loop_detector.batches_processed == batch_detector.batches_processed
+
+    def test_detections_fire_on_drift(self, drifting_data):
+        features, labels, predictions = drifting_data
+        detector = self._detector()
+        detector.warm_start(features[:200], labels[:200])
+        detector.step_batch(features[200:], labels[200:], predictions[200:])
+        assert detector.detections, "no drift detected on a double-drift stream"
+
+    def test_shape_validation(self):
+        detector = self._detector()
+        with pytest.raises(ValueError):
+            detector.step_batch(np.zeros((3, 5)), np.zeros(3, dtype=int), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            detector.step_batch(
+                np.zeros((2, 8)), np.array([0, 9]), np.array([0, 0])
+            )
+
+    def test_empty_batch_is_noop(self):
+        detector = self._detector()
+        flags = detector.step_batch(
+            np.empty((0, 8)), np.empty(0, dtype=int), np.empty(0, dtype=int)
+        )
+        assert flags.shape == (0,)
+        assert detector.n_observations == 0
+
+
+def test_detection_classes_tracks_detections():
+    features, labels = SEAGenerator(n_classes=3, seed=0).generate_batch(500)
+    detector = DDM_OCI(n_classes=3)
+    predictions = np.zeros_like(labels)
+    detector.step_batch(features, labels, predictions)
+    assert len(detector.detection_classes) == len(detector.detections)

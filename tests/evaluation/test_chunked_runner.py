@@ -1,0 +1,243 @@
+"""Chunked prequential runner: parity with instance mode, and batch mode.
+
+The chunked exact mode must reproduce instance-mode results *exactly*
+(detections, drift-reset positions, pmAUC/pmGM/accuracy/kappa and every
+snapshot) because the batched stream fetch is bit-identical and all model
+operations happen in the same order.  Batch mode trades within-chunk test
+ordering for throughput; for detectors that ignore the prediction stream
+(RBM-IM consumes raw instances) the detections are still identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import GaussianNaiveBayes
+from repro.core.detector import RBMIM, RBMIMConfig
+from repro.detectors import DDM_OCI, FHDDM
+from repro.evaluation.grid import ExperimentGrid
+from repro.evaluation.prequential import PrequentialRunner
+from repro.streams.drift import LocalDriftStream
+from repro.streams.generators import RandomRBFGenerator
+from repro.streams.imbalance import ImbalancedStream, StaticImbalance
+from repro.streams.scenarios import ScenarioStream, make_artificial_stream
+
+N_INSTANCES = 4_000
+
+
+def nb_factory(n_features, n_classes):
+    return GaussianNaiveBayes(n_features, n_classes)
+
+
+def _drifting_scenario() -> ScenarioStream:
+    """Small Scenario-3 stream on which RBM-IM actually fires."""
+
+    def factory(concept: int):
+        return RandomRBFGenerator(
+            n_classes=4, n_features=8, n_centroids=12, concept=concept, seed=3
+        )
+
+    local = LocalDriftStream(
+        generator_factory=factory,
+        old_concept=0,
+        new_concept=6,
+        drifted_classes=[3],
+        position=2_000,
+        seed=9,
+    )
+    stream = ImbalancedStream(local, StaticImbalance(4, 10.0), seed=2)
+    return ScenarioStream(
+        stream=stream,
+        drift_points=[2_000],
+        drifted_classes=[[3]],
+        name="chunked-parity-scenario",
+        n_instances=N_INSTANCES,
+    )
+
+
+def _rbmim(scenario: ScenarioStream) -> RBMIM:
+    return RBMIM(
+        scenario.n_features,
+        scenario.n_classes,
+        RBMIMConfig(batch_size=25, seed=7),
+    )
+
+
+@pytest.fixture(scope="module")
+def instance_mode_result():
+    scenario = _drifting_scenario()
+    runner = PrequentialRunner(nb_factory, pretrain_size=200)
+    return runner.run(scenario, _rbmim(scenario), n_instances=N_INSTANCES)
+
+
+class TestChunkedExactMode:
+    @pytest.mark.parametrize("chunk_size", [1, 64, 500, 10_000])
+    def test_identical_to_instance_mode(self, instance_mode_result, chunk_size):
+        scenario = _drifting_scenario()
+        runner = PrequentialRunner(
+            nb_factory, pretrain_size=200, chunk_size=chunk_size
+        )
+        result = runner.run(scenario, _rbmim(scenario), n_instances=N_INSTANCES)
+        reference = instance_mode_result
+        assert result.detections == reference.detections
+        assert result.detected_classes == reference.detected_classes
+        assert result.pmauc == reference.pmauc
+        assert result.pmgm == reference.pmgm
+        assert result.accuracy == reference.accuracy
+        assert result.kappa == reference.kappa
+        assert [
+            (snap.position, snap.pmauc, snap.pmgm) for snap in result.snapshots
+        ] == [
+            (snap.position, snap.pmauc, snap.pmgm)
+            for snap in reference.snapshots
+        ]
+
+    def test_detections_fired(self, instance_mode_result):
+        # The parity assertions above are only meaningful if drifts and
+        # drift-triggered classifier resets actually happened.
+        assert instance_mode_result.detections
+
+    def test_error_rate_detector_parity(self):
+        scenario_a = make_artificial_stream(
+            "randomtree", 4, n_instances=3_000, max_imbalance_ratio=10.0, seed=5
+        )
+        scenario_b = make_artificial_stream(
+            "randomtree", 4, n_instances=3_000, max_imbalance_ratio=10.0, seed=5
+        )
+        runner = PrequentialRunner(nb_factory, pretrain_size=150)
+        reference = runner.run(scenario_a, DDM_OCI(n_classes=4), n_instances=3_000)
+        chunked = runner.run(
+            scenario_b, DDM_OCI(n_classes=4), n_instances=3_000, chunk_size=256
+        )
+        assert chunked.detections == reference.detections
+        assert chunked.pmauc == reference.pmauc
+        assert chunked.pmgm == reference.pmgm
+
+
+class TestChunkedBatchMode:
+    def test_rbmim_detections_identical(self, instance_mode_result):
+        # RBM-IM consumes raw (x, y) only, so chunk-granular testing does not
+        # change what the detector sees: detections must match exactly.
+        scenario = _drifting_scenario()
+        runner = PrequentialRunner(
+            nb_factory, pretrain_size=200, chunk_size=500, batch_mode=True
+        )
+        result = runner.run(scenario, _rbmim(scenario), n_instances=N_INSTANCES)
+        assert result.detections == instance_mode_result.detections
+        assert result.detected_classes == instance_mode_result.detected_classes
+
+    def test_metrics_close_to_instance_mode(self, instance_mode_result):
+        scenario = _drifting_scenario()
+        runner = PrequentialRunner(
+            nb_factory, pretrain_size=200, chunk_size=250, batch_mode=True
+        )
+        result = runner.run(scenario, _rbmim(scenario), n_instances=N_INSTANCES)
+        assert result.n_instances == N_INSTANCES
+        assert abs(result.pmauc - instance_mode_result.pmauc) < 0.1
+        assert 0.0 <= result.pmgm <= 1.0
+        assert result.snapshots[-1].position == instance_mode_result.snapshots[-1].position
+
+    def test_detectorless_baseline_runs(self):
+        scenario = make_artificial_stream(
+            "rbf", 4, n_instances=2_000, max_imbalance_ratio=10.0, seed=1
+        )
+        runner = PrequentialRunner(
+            nb_factory, pretrain_size=100, chunk_size=300, batch_mode=True
+        )
+        result = runner.run(scenario, None, n_instances=2_000)
+        assert result.detections == []
+        assert 0.0 <= result.pmauc <= 1.0
+
+
+# ------------------------------------------------------------------ grid ----
+def _grid_stream(seed: int) -> ScenarioStream:
+    return make_artificial_stream(
+        "rbf", 4, n_instances=1_200, max_imbalance_ratio=10.0, seed=seed
+    )
+
+
+def _grid_fhddm(n_features, n_classes):
+    return FHDDM()
+
+
+def _grid_ddm_oci(n_features, n_classes):
+    return DDM_OCI(n_classes=n_classes)
+
+
+class TestExperimentGrid:
+    def _grid(self, **kwargs):
+        return ExperimentGrid(
+            streams={"rbf4": _grid_stream},
+            detectors={"FHDDM": _grid_fhddm, "DDM-OCI": _grid_ddm_oci},
+            seeds=[0, 1],
+            classifier_factory=nb_factory,
+            pretrain_size=150,
+            chunk_size=256,
+            **kwargs,
+        )
+
+    def test_cells_cross_product(self):
+        grid = self._grid()
+        assert len(grid) == 4
+        cells = grid.cells()
+        assert len({(c.stream, c.detector, c.seed) for c in cells}) == 4
+
+    def test_serial_backend(self):
+        result = self._grid().run(backend="serial")
+        assert len(result.successes) == 4
+        assert not result.failures
+        table = result.table("pmauc", scale=100.0)
+        assert table.datasets == ["rbf4"]
+        assert set(table.methods) == {"FHDDM", "DDM-OCI"}
+        assert 0.0 <= table.value("rbf4", "FHDDM") <= 100.0
+
+    def test_process_backend_matches_serial(self):
+        serial = self._grid().run(backend="serial")
+        parallel = self._grid().run(backend="process", max_workers=2)
+        key = lambda c: (c.cell.stream, c.cell.detector, c.cell.seed)  # noqa: E731
+        serial_values = [
+            (key(c), c.result.pmauc, tuple(c.result.detections))
+            for c in sorted(serial.successes, key=key)
+        ]
+        parallel_values = [
+            (key(c), c.result.pmauc, tuple(c.result.detections))
+            for c in sorted(parallel.successes, key=key)
+        ]
+        assert serial_values == parallel_values
+
+    def test_unpicklable_factories_fall_back(self):
+        grid = ExperimentGrid(
+            streams={"rbf4": lambda seed: _grid_stream(seed)},
+            detectors={"FHDDM": lambda f, c: FHDDM()},
+            seeds=[0],
+            classifier_factory=nb_factory,
+            pretrain_size=150,
+            chunk_size=256,
+        )
+        result = grid.run(backend="process")
+        assert len(result.successes) == 1
+
+    def test_failures_are_captured(self):
+        def broken_stream(seed):
+            raise RuntimeError("boom")
+
+        grid = ExperimentGrid(
+            streams={"ok": _grid_stream, "broken": broken_stream},
+            detectors={"FHDDM": _grid_fhddm},
+            seeds=[0],
+            classifier_factory=nb_factory,
+            pretrain_size=150,
+        )
+        result = grid.run(backend="serial")
+        assert len(result.successes) == 1
+        assert len(result.failures) == 1
+        assert "boom" in result.failures[0].error
+
+    def test_records_roundtrip(self, tmp_path):
+        result = self._grid().run(backend="thread", max_workers=2)
+        path = tmp_path / "grid.json"
+        result.save_json(str(path))
+        import json
+
+        records = json.loads(path.read_text())
+        assert len(records) == 4
+        assert {record["detector"] for record in records} == {"FHDDM", "DDM-OCI"}

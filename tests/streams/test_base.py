@@ -116,6 +116,44 @@ class TestListStream:
         with pytest.raises(StopIteration):
             stream.next_instance()
 
+    def test_for_loop_terminates_cleanly(self):
+        # Regression: StopIteration escaping a generator-based __iter__ is a
+        # RuntimeError under PEP 479; iteration must end cleanly instead.
+        stream = ListStream(
+            [Instance(x=np.full(2, float(i)), y=i % 2) for i in range(5)]
+        )
+        seen = [instance.y for instance in stream]
+        assert seen == [0, 1, 0, 1, 0]
+
+    def test_take_returns_remaining_on_exhaustion(self):
+        stream = ListStream(
+            [Instance(x=np.full(2, float(i)), y=i % 2) for i in range(3)]
+        )
+        collected = stream.take(10)
+        assert len(collected) == 3
+        assert stream.take(10) == []
+
+    def test_generate_batch_truncates_at_end(self):
+        stream = ListStream(
+            [Instance(x=np.full(2, float(i)), y=i % 2) for i in range(7)]
+        )
+        features, labels = stream.generate_batch(5)
+        assert features.shape == (5, 2)
+        features, labels = stream.generate_batch(5)
+        assert features.shape == (2, 2)
+        np.testing.assert_array_equal(labels, [1, 0])
+        features, labels = stream.generate_batch(5)
+        assert features.shape == (0, 2)
+        assert stream.position == 7
+
+    def test_generate_batch_matches_instances(self):
+        instances = [Instance(x=np.full(3, float(i)), y=i % 4) for i in range(20)]
+        batch_stream = ListStream(instances)
+        features, labels = batch_stream.generate_batch(20)
+        expected_x, expected_y = stream_to_arrays(instances)
+        np.testing.assert_array_equal(features, expected_x)
+        np.testing.assert_array_equal(labels, expected_y)
+
     def test_restart_replays_from_beginning(self, tiny_list_stream):
         first_pass = [inst.y for inst in tiny_list_stream.take(10)]
         tiny_list_stream.restart()
