@@ -1,0 +1,18 @@
+"""Repo-level pytest configuration.
+
+Lives at the repository root so its ``pytest_addoption`` hook is loaded as an
+*initial* conftest regardless of which test directory is selected.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite the golden files under tests/golden/ with the current "
+            "detector outputs instead of asserting against them.  Use after "
+            "an intentional behaviour change, and commit the diff."
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Run a miniature version of the paper's full protocol, end to end.
+
+The same machinery scales to the complete reproduction
+(``ProtocolSpec.paper()``: 36 benchmarks x 6 detectors x 5 seeds); this
+example shrinks the axes so it finishes in about a minute on a laptop,
+then demonstrates the three pipeline stages:
+
+1. ``run``    — execute every pending cell into the results store
+   (kill and re-run this script: completed cells are skipped);
+2. ``status`` — coverage accounting;
+3. ``report`` — tables, average ranks, and significance tests.
+
+Equivalent CLI session::
+
+    python -m repro.protocol spec --preset paper > spec.json   # then edit
+    python -m repro.protocol run    --spec spec.json --store results/
+    python -m repro.protocol status --spec spec.json --store results/
+    python -m repro.protocol report --spec spec.json --store results/
+"""
+
+from repro.protocol import (
+    ProtocolPipeline,
+    ProtocolSpec,
+    analyze_records,
+    render_report,
+)
+
+spec = ProtocolSpec(
+    name="mini-paper",
+    families=("rbf", "hyperplane"),
+    class_counts=(5,),
+    scenarios=(1, 3),
+    detectors=("DDM", "ADWIN", "PerfSim", "RBM-IM"),
+    seeds=(0, 1),
+    n_instances=2_000,
+    n_drifts=2,
+    max_imbalance_ratio=50.0,
+    window_size=500,
+    pretrain_size=200,
+    chunk_size=256,
+    drift_tolerance=700,
+)
+
+pipeline = ProtocolPipeline(spec, "protocol_results")
+print(f"{len(spec)} cells, {len(pipeline.pending())} pending")
+
+summary = pipeline.run(backend="process")
+print(summary.describe())
+print(pipeline.status().describe())
+
+records = pipeline.completed_records()
+analysis = analyze_records(
+    records, metrics=("pmauc", "detection_recall"), control="RBM-IM"
+)
+print()
+print(render_report(analysis))

@@ -10,7 +10,9 @@ The package provides:
   cost-sensitive perceptron tree;
 * :mod:`repro.metrics` — prequential multi-class AUC / G-mean and drift scoring;
 * :mod:`repro.evaluation` — the prequential harness, experiment orchestration,
-  statistical tests, and online hyper-parameter tuning.
+  statistical tests, and online hyper-parameter tuning;
+* :mod:`repro.protocol` — the end-to-end, resumable reproduction of the
+  paper's protocol (``python -m repro.protocol run``).
 
 Quick start::
 

@@ -35,7 +35,15 @@ from repro.evaluation.results import ResultTable
 from repro.streams.base import DataStream
 from repro.streams.scenarios import ScenarioStream
 
-__all__ = ["GridCell", "GridCellResult", "GridResult", "ExperimentGrid"]
+__all__ = [
+    "GridCell",
+    "GridCellResult",
+    "GridResult",
+    "ExperimentGrid",
+    "CellTask",
+    "cell_record",
+    "run_cell_tasks",
+]
 
 #: Builds the stream for one cell: ``(seed) -> ScenarioStream | DataStream``.
 StreamFactory = Callable[[int], "ScenarioStream | DataStream"]
@@ -99,29 +107,46 @@ class GridResult:
 
     def to_records(self) -> list[dict]:
         """Flat JSON-friendly records, one per cell (for disk/DB sinks)."""
-        records = []
-        for cell_result in self.cells:
-            record: dict = dict(asdict(cell_result.cell))
-            record["wall_time"] = cell_result.wall_time
-            record["error"] = cell_result.error
-            if cell_result.result is not None:
-                run = cell_result.result
-                record.update(
-                    pmauc=run.pmauc,
-                    pmgm=run.pmgm,
-                    accuracy=run.accuracy,
-                    kappa=run.kappa,
-                    detections=list(run.detections),
-                    n_instances=run.n_instances,
-                    detector_time=run.detector_time,
-                    classifier_time=run.classifier_time,
-                )
-            records.append(record)
-        return records
+        return [cell_record(cell_result) for cell_result in self.cells]
 
     def save_json(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_records(), handle, indent=2)
+
+
+def cell_record(cell_result: GridCellResult) -> dict:
+    """One flat JSON-friendly record for a finished (or failed) grid cell.
+
+    Includes the run metrics, detection positions, and — when the stream
+    carried ground truth — the drift-detection report (recall, delay, false
+    alarms), so a record is self-contained for disk/DB sinks.
+    """
+    record: dict = dict(asdict(cell_result.cell))
+    record["wall_time"] = cell_result.wall_time
+    record["error"] = cell_result.error
+    if cell_result.result is not None:
+        run = cell_result.result
+        record.update(
+            pmauc=run.pmauc,
+            pmgm=run.pmgm,
+            accuracy=run.accuracy,
+            kappa=run.kappa,
+            detections=list(run.detections),
+            n_instances=run.n_instances,
+            detector_time=run.detector_time,
+            classifier_time=run.classifier_time,
+        )
+        if run.drift_report is not None:
+            report = run.drift_report
+            record["drift_report"] = {
+                "n_true_drifts": report.n_true_drifts,
+                "n_detections": report.n_detections,
+                "n_detected": report.n_detected,
+                "n_false_alarms": report.n_false_alarms,
+                "mean_delay": report.mean_delay,
+                "detection_recall": report.detection_recall,
+            }
+    return record
 
 
 def _execute_cell(
@@ -159,6 +184,127 @@ def _execute_cell(
             wall_time=time.perf_counter() - started,
             error=traceback.format_exc(),
         )
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """A fully-specified unit of grid work: one cell plus its factories.
+
+    Both :class:`ExperimentGrid` and the protocol pipeline
+    (:mod:`repro.protocol`) reduce their workload to a list of cell tasks and
+    hand it to :func:`run_cell_tasks`; the pipeline filters the list first so
+    completed cells are never resubmitted.
+    """
+
+    cell: GridCell
+    stream_factory: StreamFactory
+    detector_factory: DetectorFactory | None
+    classifier_factory: Callable
+    runner_kwargs: Mapping = field(default_factory=dict)
+    run_kwargs: Mapping = field(default_factory=dict)
+
+    def args(self) -> tuple:
+        return (
+            self.cell,
+            self.stream_factory,
+            self.detector_factory,
+            self.classifier_factory,
+            dict(self.runner_kwargs),
+            dict(self.run_kwargs),
+        )
+
+    def execute(self) -> GridCellResult:
+        return _execute_cell(*self.args())
+
+
+def tasks_picklable(tasks: Sequence[CellTask]) -> bool:
+    """Whether every task payload can cross a process boundary."""
+    import pickle
+
+    try:
+        pickle.dumps(
+            tuple(
+                (
+                    task.stream_factory,
+                    task.detector_factory,
+                    task.classifier_factory,
+                )
+                for task in tasks
+            )
+        )
+    except Exception:  # noqa: BLE001 - any pickling failure means "no"
+        return False
+    return True
+
+
+def run_cell_tasks(
+    tasks: Sequence[CellTask],
+    backend: str = "process",
+    max_workers: int | None = None,
+    progress: Callable[[GridCellResult], None] | None = None,
+) -> list[GridCellResult]:
+    """Execute cell tasks on the chosen backend, preserving input order.
+
+    ``backend`` is ``"process"`` (falls back to threads when a payload is not
+    picklable), ``"thread"``, or ``"serial"``.  ``progress`` is invoked with
+    every finished cell, in completion order; worker crashes surface as failed
+    :class:`GridCellResult`\\ s rather than exceptions.
+    """
+    if backend not in ("process", "thread", "serial"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "process" and not tasks_picklable(tasks):
+        # Lambdas/closures cannot cross process boundaries; degrade to
+        # threads rather than failing every cell.
+        backend = "thread"
+    if backend == "serial":
+        results = []
+        for task in tasks:
+            cell_result = task.execute()
+            if progress is not None:
+                progress(cell_result)
+            results.append(cell_result)
+        return results
+
+    executor = _make_executor(backend, max_workers)
+    try:
+        futures: dict[Future, int] = {}
+        for index, task in enumerate(tasks):
+            futures[executor.submit(_execute_cell, *task.args())] = index
+        by_index: dict[int, GridCellResult] = {}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                try:
+                    cell_result = future.result()
+                except Exception:  # worker crashed (e.g. OOM-kill)
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
+                    )
+                by_index[index] = cell_result
+                if progress is not None:
+                    progress(cell_result)
+    except BaseException:
+        # On Ctrl-C (or a raising progress callback) drop the queued cells
+        # instead of draining them; in-flight cells still finish.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown()
+    return [by_index[index] for index in range(len(tasks))]
+
+
+def _make_executor(backend: str, max_workers: int | None) -> Executor:
+    if backend == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=max_workers)
+    from concurrent.futures import ThreadPoolExecutor
+
+    return ThreadPoolExecutor(max_workers=max_workers)
 
 
 class ExperimentGrid:
@@ -242,97 +388,22 @@ class ExperimentGrid:
         progress:
             Optional callback invoked with every finished cell.
         """
-        if backend not in ("process", "thread", "serial"):
-            raise ValueError(f"unknown backend {backend!r}")
-        if backend == "process" and not self._payload_picklable():
-            # Lambdas/closures cannot cross process boundaries; degrade to
-            # threads rather than failing every cell.
-            backend = "thread"
-        cells = self.cells()
-        if backend == "serial":
-            results = []
-            for cell in cells:
-                cell_result = self._execute(cell)
-                if progress is not None:
-                    progress(cell_result)
-                results.append(cell_result)
-            return GridResult(cells=results)
         return GridResult(
-            cells=self._run_executor(cells, backend, max_workers, progress)
+            cells=run_cell_tasks(self.tasks(), backend, max_workers, progress)
         )
 
     # ------------------------------------------------------------ internals
-    def _cell_args(self, cell: GridCell) -> tuple:
+    def tasks(self) -> list[CellTask]:
+        """One :class:`CellTask` per grid cell, in deterministic order."""
         run_kwargs = {"n_instances": self._n_instances}
-        return (
-            cell,
-            self._streams[cell.stream],
-            self._detectors[cell.detector],
-            self._classifier_factory,
-            self._runner_kwargs,
-            run_kwargs,
-        )
-
-    def _execute(self, cell: GridCell) -> GridCellResult:
-        return _execute_cell(*self._cell_args(cell))
-
-    def _run_executor(
-        self,
-        cells: list[GridCell],
-        backend: str,
-        max_workers: int | None,
-        progress: Callable[[GridCellResult], None] | None,
-    ) -> list[GridCellResult]:
-        executor = self._make_executor(backend, max_workers)
-        try:
-            futures: dict[Future, GridCell] = {}
-            for cell in cells:
-                futures[
-                    executor.submit(_execute_cell, *self._cell_args(cell))
-                ] = cell
-            by_cell: dict[GridCell, GridCellResult] = {}
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    cell = futures[future]
-                    try:
-                        cell_result = future.result()
-                    except Exception:  # worker crashed (e.g. OOM-kill)
-                        cell_result = GridCellResult(
-                            cell=cell,
-                            result=None,
-                            wall_time=float("nan"),
-                            error=traceback.format_exc(),
-                        )
-                    by_cell[cell] = cell_result
-                    if progress is not None:
-                        progress(cell_result)
-            return [by_cell[cell] for cell in cells]
-        finally:
-            executor.shutdown()
-
-    def _payload_picklable(self) -> bool:
-        import pickle
-
-        try:
-            pickle.dumps(
-                (
-                    tuple(self._streams.values()),
-                    tuple(self._detectors.values()),
-                    self._classifier_factory,
-                )
+        return [
+            CellTask(
+                cell=cell,
+                stream_factory=self._streams[cell.stream],
+                detector_factory=self._detectors[cell.detector],
+                classifier_factory=self._classifier_factory,
+                runner_kwargs=self._runner_kwargs,
+                run_kwargs=run_kwargs,
             )
-        except Exception:  # noqa: BLE001 - any pickling failure means "no"
-            return False
-        return True
-
-    @staticmethod
-    def _make_executor(backend: str, max_workers: int | None) -> Executor:
-        if backend == "process":
-            from concurrent.futures import ProcessPoolExecutor
-
-            return ProcessPoolExecutor(max_workers=max_workers)
-        from concurrent.futures import ThreadPoolExecutor
-
-        return ThreadPoolExecutor(max_workers=max_workers)
+            for cell in self.cells()
+        ]

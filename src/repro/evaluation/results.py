@@ -28,9 +28,23 @@ class ResultTable:
         default_factory=OrderedDict
     )
 
-    def add(self, dataset: str, method: str, value: float) -> None:
-        """Record one value (overwrites any previous value for the cell)."""
-        self._cells.setdefault(dataset, OrderedDict())[method] = float(value)
+    def add(
+        self, dataset: str, method: str, value: float, overwrite: bool = False
+    ) -> None:
+        """Record one value.
+
+        A second ``add`` for the same (dataset, method) cell raises — silent
+        overwrites have historically hidden aggregation bugs where two runs
+        collapsed into one cell.  Pass ``overwrite=True`` to replace a cell
+        deliberately.
+        """
+        row = self._cells.setdefault(dataset, OrderedDict())
+        if method in row and not overwrite:
+            raise ValueError(
+                f"duplicate cell ({dataset!r}, {method!r}): already holds "
+                f"{row[method]!r}; pass overwrite=True to replace it"
+            )
+        row[method] = float(value)
 
     @property
     def datasets(self) -> list[str]:

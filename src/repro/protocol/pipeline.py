@@ -1,0 +1,264 @@
+"""Resumable execution of a :class:`~repro.protocol.spec.ProtocolSpec`.
+
+:class:`ProtocolPipeline` glues the layers together: the spec expands into
+cells, each pending cell becomes a :class:`~repro.evaluation.grid.CellTask`
+(scenario stream factory from :mod:`repro.streams.scenarios`, detector
+factory from the registry, the paper's default classifier), the shared grid
+executor fans the tasks out, and every finished cell is **immediately**
+persisted into the :class:`~repro.protocol.store.ResultsStore` before any
+progress callback runs.  Because persistence is per-cell and atomic, a run
+killed at any point loses at most the cells in flight; re-invoking the
+pipeline skips every stored cell and recomputes only the rest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.evaluation.experiment import default_classifier_factory
+from repro.evaluation.grid import (
+    CellTask,
+    GridCell,
+    GridCellResult,
+    cell_record,
+    run_cell_tasks,
+)
+from repro.evaluation.results import ResultTable
+from repro.protocol.registry import detector_factory
+from repro.protocol.spec import ProtocolCell, ProtocolSpec, callable_label
+from repro.protocol.store import ResultsStore
+
+__all__ = ["ProtocolStatus", "ProtocolRunSummary", "ProtocolPipeline"]
+
+
+@dataclass(frozen=True)
+class ProtocolStatus:
+    """Cell accounting of a store against a spec."""
+
+    n_cells: int
+    n_completed: int
+    n_failed: int
+
+    @property
+    def n_pending(self) -> int:
+        return self.n_cells - self.n_completed - self.n_failed
+
+    @property
+    def done(self) -> bool:
+        return self.n_completed == self.n_cells
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_cells} cells: {self.n_completed} completed, "
+            f"{self.n_failed} failed, {self.n_pending} pending"
+        )
+
+
+@dataclass
+class ProtocolRunSummary:
+    """Outcome of one :meth:`ProtocolPipeline.run` invocation."""
+
+    n_cells: int
+    n_skipped: int
+    n_executed: int
+    n_failed: int
+    wall_time: float
+    executed_keys: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_cells} cells: {self.n_skipped} cached, "
+            f"{self.n_executed} executed ({self.n_failed} failed) "
+            f"in {self.wall_time:.1f}s"
+        )
+
+
+class ProtocolPipeline:
+    """Run, resume, and inspect one protocol spec against one results store.
+
+    Parameters
+    ----------
+    spec:
+        The protocol to execute.
+    store:
+        Results store (a directory path or a :class:`ResultsStore`).
+    classifier_factory:
+        Base classifier for every cell; defaults to the paper's
+        cost-sensitive perceptron tree.  Must be picklable for the process
+        backend.
+    """
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        store: "ResultsStore | str",
+        classifier_factory: Callable | None = None,
+    ) -> None:
+        self._spec = spec
+        self._store = store if isinstance(store, ResultsStore) else ResultsStore(store)
+        self._classifier_factory = classifier_factory or default_classifier_factory
+        # Hashed into every cell key: a different classifier must never be
+        # served records computed with another one.
+        self._classifier_label = callable_label(self._classifier_factory)
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        return self._spec
+
+    @property
+    def store(self) -> ResultsStore:
+        return self._store
+
+    # -------------------------------------------------------------- planning
+    def cells(self) -> list[tuple[ProtocolCell, str]]:
+        """Every (cell, key) of the spec, in deterministic order."""
+        return [
+            (cell, self._spec.cell_key(cell, self._classifier_label))
+            for cell in self._spec.expand()
+        ]
+
+    def pending(self, retry_failed: bool = True) -> list[tuple[ProtocolCell, str]]:
+        """Cells with no usable stored record (optionally retrying failures)."""
+        remaining = []
+        for cell, key in self.cells():
+            record = self._store.get(key)
+            if record is None:
+                remaining.append((cell, key))
+            elif record.get("error") is not None and retry_failed:
+                remaining.append((cell, key))
+        return remaining
+
+    def task_for(self, cell: ProtocolCell) -> CellTask:
+        """The fully-specified, picklable unit of work for one cell."""
+        runner_kwargs = {
+            "window_size": self._spec.window_size,
+            "pretrain_size": self._spec.pretrain_size,
+            "chunk_size": self._spec.chunk_size,
+            "batch_mode": self._spec.batch_mode,
+        }
+        run_kwargs = {
+            "n_instances": self._spec.n_instances,
+            "drift_tolerance": self._spec.drift_tolerance,
+        }
+        return CellTask(
+            cell=GridCell(
+                stream=cell.benchmark, detector=cell.detector, seed=cell.seed
+            ),
+            stream_factory=self._spec.stream_factory(cell),
+            detector_factory=detector_factory(cell.detector),
+            classifier_factory=self._classifier_factory,
+            runner_kwargs=runner_kwargs,
+            run_kwargs=run_kwargs,
+        )
+
+    # ------------------------------------------------------------- execution
+    def run(
+        self,
+        max_workers: int | None = None,
+        backend: str = "process",
+        progress: Callable[[GridCellResult], None] | None = None,
+        retry_failed: bool = True,
+        max_cells: int | None = None,
+    ) -> ProtocolRunSummary:
+        """Execute every pending cell, persisting each the moment it finishes.
+
+        Completed cells (a readable stored record without an error) are
+        **never recomputed**; re-invoking after an interruption finishes only
+        the remainder.  ``max_cells`` caps how many pending cells this
+        invocation takes on (useful for incremental/smoke runs).
+        """
+        started = time.perf_counter()
+        self._store.save_spec(self._spec.to_json())
+        todo = self.pending(retry_failed=retry_failed)
+        n_total = len(self._spec)
+        n_skipped = n_total - len(todo)
+        if max_cells is not None:
+            todo = todo[: max(0, int(max_cells))]
+        if not todo:
+            return ProtocolRunSummary(
+                n_cells=n_total,
+                n_skipped=n_skipped,
+                n_executed=0,
+                n_failed=0,
+                wall_time=time.perf_counter() - started,
+            )
+
+        key_of = {
+            (cell.benchmark, cell.detector, cell.seed): key for cell, key in todo
+        }
+        cell_of = {
+            (cell.benchmark, cell.detector, cell.seed): cell for cell, _ in todo
+        }
+        executed_keys: list[str] = []
+
+        def persist(cell_result: GridCellResult) -> None:
+            grid_cell = cell_result.cell
+            coords = (grid_cell.stream, grid_cell.detector, grid_cell.seed)
+            key = key_of[coords]
+            self._store.put(key, self._record(cell_of[coords], key, cell_result))
+            executed_keys.append(key)
+            if progress is not None:
+                progress(cell_result)
+
+        tasks = [self.task_for(cell) for cell, _ in todo]
+        results = run_cell_tasks(
+            tasks, backend=backend, max_workers=max_workers, progress=persist
+        )
+        n_failed = sum(1 for cell_result in results if not cell_result.ok)
+        return ProtocolRunSummary(
+            n_cells=n_total,
+            n_skipped=n_skipped,
+            n_executed=len(results),
+            n_failed=n_failed,
+            wall_time=time.perf_counter() - started,
+            executed_keys=executed_keys,
+        )
+
+    def _record(
+        self, cell: ProtocolCell, key: str, cell_result: GridCellResult
+    ) -> dict:
+        record = cell_record(cell_result)
+        record.update(
+            key=key,
+            benchmark=cell.benchmark,
+            family=cell.family,
+            n_classes=cell.n_classes,
+            scenario=cell.scenario,
+            spec_name=self._spec.name,
+            run_parameters=self._spec.run_parameters(self._classifier_label),
+        )
+        return record
+
+    # ------------------------------------------------------------ inspection
+    def status(self, retry_failed: bool = True) -> ProtocolStatus:
+        """How much of the spec the store already covers."""
+        n_completed = 0
+        n_failed = 0
+        for _, key in self.cells():
+            record = self._store.get(key)
+            if record is None:
+                continue
+            if record.get("error") is None:
+                n_completed += 1
+            else:
+                n_failed += 1
+        return ProtocolStatus(
+            n_cells=len(self._spec), n_completed=n_completed, n_failed=n_failed
+        )
+
+    def completed_records(self) -> list[dict]:
+        """Stored records of this spec's completed cells, in cell order."""
+        records = []
+        for _, key in self.cells():
+            record = self._store.get(key)
+            if record is not None and record.get("error") is None:
+                records.append(record)
+        return records
+
+    def table(self, metric: str = "pmauc", scale: float = 1.0) -> ResultTable:
+        """(benchmarks x detectors) table of a stored metric, seed-averaged."""
+        from repro.protocol.analysis import records_to_table
+
+        return records_to_table(self.completed_records(), metric, scale=scale)

@@ -1,0 +1,136 @@
+"""Durable on-disk store of protocol results: one JSON record per cell.
+
+Layout: a root directory holding ``<key>.json`` files (the key is the
+content-hashed cell key from :meth:`~repro.protocol.spec.ProtocolSpec.
+cell_key`) plus a ``spec.json`` provenance copy of the spec that produced
+them.  Three invariants make the store safe to kill at any moment:
+
+* **atomic writes** — records are written to a ``.tmp-*`` sibling, flushed
+  and fsynced, then :func:`os.replace`\\ d into place, so a visible
+  ``<key>.json`` is always complete;
+* **corruption tolerance** — a record that cannot be parsed (e.g. a file
+  truncated by a crash of a *non*-atomic writer, or hand-edited) is treated
+  as absent, never as an error, so the pipeline simply recomputes that cell;
+* **content-hashed keys** — the filename alone decides whether a cell is
+  done, so resuming requires no manifest, no database, and no ordering.
+
+Records are plain JSON dictionaries; the store imposes no schema beyond
+requiring JSON-serialisable values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ResultsStore"]
+
+_SUFFIX = ".json"
+_TMP_PREFIX = ".tmp-"
+
+
+class ResultsStore:
+    """A directory of one-JSON-record-per-cell results with atomic writes."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # ------------------------------------------------------------- pathing
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (whether or not it exists)."""
+        safe = key.replace(os.sep, "_")
+        if os.altsep:
+            safe = safe.replace(os.altsep, "_")
+        return self._root / f"{safe}{_SUFFIX}"
+
+    # ------------------------------------------------------------ write API
+    def put(self, key: str, record: dict) -> Path:
+        """Atomically persist ``record`` under ``key`` (overwriting any old one).
+
+        The record is serialised to canonical (sorted-key) JSON in a
+        temporary sibling file, fsynced, and renamed over the final path, so
+        readers and crash-restarted runs never observe a partial record.
+        """
+        path = self.path_for(key)
+        self._atomic_write(path, json.dumps(record, indent=2, sort_keys=True))
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Delete the record for ``key``; returns whether one existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def save_spec(self, spec_json: str) -> Path:
+        """Persist a provenance copy of the spec alongside the records."""
+        path = self._root / "spec.json"
+        self._atomic_write(path, spec_json)
+        return path
+
+    def _atomic_write(self, path: Path, payload: str) -> None:
+        """tmp-write + fsync + rename; leaves no stray tmp file on failure."""
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=_TMP_PREFIX, suffix=_SUFFIX, dir=self._root
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- read API
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or ``None`` if absent or corrupt."""
+        return self._load(self.path_for(key))
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        """Keys of every *readable* record, sorted."""
+        found = []
+        for path in sorted(self._root.glob(f"*{_SUFFIX}")):
+            if path.name.startswith(_TMP_PREFIX) or path.name == "spec.json":
+                continue
+            if self._load(path) is not None:
+                found.append(path.name[: -len(_SUFFIX)])
+        return found
+
+    def records(self) -> Iterator[tuple[str, dict]]:
+        """Iterate ``(key, record)`` over every readable record, sorted by key."""
+        for path in sorted(self._root.glob(f"*{_SUFFIX}")):
+            if path.name.startswith(_TMP_PREFIX) or path.name == "spec.json":
+                continue
+            record = self._load(path)
+            if record is not None:
+                yield path.name[: -len(_SUFFIX)], record
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _load(path: Path) -> dict | None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None

@@ -1,0 +1,127 @@
+"""Edge-case coverage for evaluation/stats.py.
+
+The main stats tests cover the well-conditioned paths; these pin the
+boundary behaviour the protocol analysis stage relies on: rank ties
+(midranks), two-method matrices, single-dataset matrices, and degenerate
+inputs to the Bayesian signed test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stats import (
+    average_ranks,
+    bayesian_signed_test,
+    bonferroni_dunn_critical_distance,
+    bonferroni_dunn_test,
+    friedman_test,
+    nemenyi_critical_distance,
+)
+
+
+class TestRankTies:
+    def test_all_methods_tied_share_the_middle_rank(self):
+        scores = np.array([[0.5, 0.5, 0.5], [0.7, 0.7, 0.7]])
+        ranks = average_ranks(scores)
+        np.testing.assert_allclose(ranks, [2.0, 2.0, 2.0])
+
+    def test_pairwise_tie_gets_midrank(self):
+        scores = np.array([[0.9, 0.9, 0.1]])
+        ranks = average_ranks(scores)
+        # The two winners share ranks 1 and 2 -> 1.5 each; the loser is 3rd.
+        np.testing.assert_allclose(ranks, [1.5, 1.5, 3.0])
+
+    def test_ties_in_lower_is_better_mode(self):
+        scores = np.array([[1.0, 1.0, 2.0]])
+        ranks = average_ranks(scores, higher_is_better=False)
+        np.testing.assert_allclose(ranks, [1.5, 1.5, 3.0])
+
+    def test_tied_matrix_is_never_significant_under_friedman(self):
+        scores = np.tile([0.5, 0.5, 0.5], (5, 1))
+        # All-equal columns make the statistic 0/0; scipy raises (all ranks
+        # identical is a degenerate input) — partial ties go through fine.
+        scores = scores + np.array([[0.0, 0.0, 0.1]] * 5)
+        result = friedman_test(scores)
+        assert result.average_ranks[2] == 1.0
+        assert result.average_ranks[0] == result.average_ranks[1] == 2.5
+
+
+class TestTwoMethods:
+    def test_friedman_requires_three_methods(self):
+        scores = np.random.default_rng(0).random((6, 2))
+        with pytest.raises(ValueError, match="at least 3 methods"):
+            friedman_test(scores)
+
+    def test_bonferroni_dunn_handles_k2(self):
+        # With k=2 the Bonferroni correction degenerates to a plain z-test:
+        # alpha / (2 (k-1)) = alpha / 2.
+        critical = bonferroni_dunn_critical_distance(2, 10)
+        assert critical == pytest.approx(1.96 * np.sqrt(2 * 3 / 60.0), abs=1e-3)
+
+    def test_nemenyi_equals_bonferroni_dunn_at_k2(self):
+        assert nemenyi_critical_distance(2, 10) == pytest.approx(
+            bonferroni_dunn_critical_distance(2, 10), abs=2e-3
+        )
+
+    def test_bonferroni_dunn_test_with_two_methods(self):
+        rng = np.random.default_rng(1)
+        scores = np.column_stack(
+            [0.9 + 0.01 * rng.random(12), 0.1 + 0.01 * rng.random(12)]
+        )
+        result = bonferroni_dunn_test(scores, ["good", "bad"], control="good")
+        assert result.significantly_worse == ["bad"]
+        assert result.average_ranks["good"] == 1.0
+        assert result.average_ranks["bad"] == 2.0
+
+
+class TestSingleDataset:
+    def test_average_ranks_single_row(self):
+        ranks = average_ranks(np.array([[0.3, 0.2, 0.1]]))
+        np.testing.assert_allclose(ranks, [1.0, 2.0, 3.0])
+
+    def test_friedman_requires_two_datasets(self):
+        with pytest.raises(ValueError, match="at least 2 datasets"):
+            friedman_test(np.array([[0.3, 0.2, 0.1]]))
+
+    def test_critical_distances_require_two_datasets(self):
+        with pytest.raises(ValueError):
+            bonferroni_dunn_critical_distance(3, 1)
+
+    def test_bayesian_signed_test_single_pair(self):
+        result = bayesian_signed_test(
+            np.array([0.9]), np.array([0.1]), rope=0.01, seed=0
+        )
+        assert result.p_left > result.p_rope
+        assert result.p_left > result.p_right
+
+
+class TestBayesianDegenerate:
+    def test_all_differences_inside_rope(self):
+        a = np.full(20, 0.500)
+        b = np.full(20, 0.505)
+        result = bayesian_signed_test(a, b, rope=0.01, seed=0)
+        assert result.winner == "rope"
+        assert result.p_rope > 0.99
+
+    def test_zero_rope_splits_left_right(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(30)
+        result = bayesian_signed_test(a + 0.2, a, rope=0.0, seed=0)
+        assert result.winner == "left"
+
+    def test_negative_rope_rejected(self):
+        with pytest.raises(ValueError, match="rope"):
+            bayesian_signed_test(np.zeros(3), np.zeros(3), rope=-0.1)
+
+    def test_empty_vectors_fall_back_to_prior(self):
+        result = bayesian_signed_test(np.array([]), np.array([]), seed=0)
+        # With no evidence the rope prior pseudo-count dominates.
+        assert result.winner == "rope"
+
+    def test_probabilities_always_sum_to_one(self):
+        result = bayesian_signed_test(
+            np.array([0.1, 0.9, 0.5]), np.array([0.9, 0.1, 0.5]), seed=1
+        )
+        assert result.p_left + result.p_rope + result.p_right == pytest.approx(1.0)

@@ -120,6 +120,18 @@ class TestResultTable:
     def test_value_lookup(self):
         assert self._table().value("stream2", "B") == pytest.approx(0.6)
 
+    def test_duplicate_cell_raises(self):
+        table = self._table()
+        with pytest.raises(ValueError, match=r"duplicate cell \('stream1', 'A'\)"):
+            table.add("stream1", "A", 0.95)
+        # The original value is untouched by the rejected write.
+        assert table.value("stream1", "A") == pytest.approx(0.9)
+
+    def test_duplicate_cell_overwrite_escape_hatch(self):
+        table = self._table()
+        table.add("stream1", "A", 0.95, overwrite=True)
+        assert table.value("stream1", "A") == pytest.approx(0.95)
+
 
 class TestFormatSeriesTable:
     def test_renders_rows_per_x_value(self):

@@ -1,0 +1,176 @@
+"""Golden regression tests: seeded detection positions for every detector.
+
+Each detector in the registry is fed the *same* fixed, fully-deterministic
+input derived from a seeded paper scenario stream (real concept drifts +
+dynamic imbalance) and a seeded synthetic prediction error schedule whose
+error rate jumps at every ground-truth drift.  The positions at which the
+detector fires are pinned in one JSON file per detector under
+``tests/golden/``.
+
+The goldens exist to lock detector behaviour down before refactors: any
+change to a detector's logic, to the stream generators, or to the
+drift/imbalance wrappers that alters a seeded detection sequence fails
+loudly here with a position-level diff.  After an *intentional* change,
+regenerate with::
+
+    pytest tests/golden --regen-golden
+
+and commit the resulting diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.protocol.registry import DETECTOR_NAMES, build_detector
+from repro.streams.scenarios import make_artificial_stream
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: Frozen input parameters.  Changing ANY of these invalidates every golden
+#: file; bump only together with --regen-golden.
+STREAM_SEED = 1234
+PREDICTION_SEED = 20260729
+N_INSTANCES = 4_000
+N_CLASSES = 5
+WARMUP = 200
+BASE_ERROR = 0.15
+DRIFT_ERROR = 0.45
+ERROR_RAMP = 400
+
+DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
+
+
+@pytest.fixture(scope="module")
+def golden_input():
+    """The fixed (X, y, y_pred, meta) every detector is replayed against."""
+    scenario = make_artificial_stream(
+        "rbf",
+        n_classes=N_CLASSES,
+        n_instances=N_INSTANCES,
+        n_drifts=3,
+        max_imbalance_ratio=50.0,
+        seed=STREAM_SEED,
+    )
+    features, labels = scenario.stream.generate_batch(N_INSTANCES)
+
+    # Synthetic classifier: base error rate, jumping to DRIFT_ERROR at every
+    # ground-truth drift and decaying linearly back over ERROR_RAMP instances.
+    error_probability = np.full(N_INSTANCES, BASE_ERROR)
+    for drift in scenario.drift_points:
+        end = min(N_INSTANCES, drift + ERROR_RAMP)
+        ramp = np.linspace(DRIFT_ERROR, BASE_ERROR, end - drift)
+        error_probability[drift:end] = np.maximum(error_probability[drift:end], ramp)
+    rng = np.random.default_rng(PREDICTION_SEED)
+    is_error = rng.random(N_INSTANCES) < error_probability
+    offsets = rng.integers(1, N_CLASSES, size=N_INSTANCES)
+    predictions = np.where(is_error, (labels + offsets) % N_CLASSES, labels)
+
+    meta = {
+        "stream": scenario.name,
+        "stream_seed": STREAM_SEED,
+        "prediction_seed": PREDICTION_SEED,
+        "n_instances": N_INSTANCES,
+        "n_classes": N_CLASSES,
+        "warmup": WARMUP,
+        "drift_points": list(scenario.drift_points),
+    }
+    return features, labels.astype(np.int64), predictions.astype(np.int64), meta
+
+
+#: Replays are deterministic, so the sanity check reuses the parametrized
+#: tests' results instead of stepping every detector twice per session.
+_replay_cache: dict[str, list[int]] = {}
+
+
+def replay_detector(name: str, golden_input) -> list[int]:
+    """Feed the fixed input through a freshly built detector; return alarms."""
+    if name in _replay_cache:
+        return _replay_cache[name]
+    features, labels, predictions, _ = golden_input
+    detector = build_detector(name, features.shape[1], N_CLASSES)
+    detector.warm_start(features[:WARMUP], labels[:WARMUP])
+    alarms: list[int] = []
+    for i in range(WARMUP, N_INSTANCES):
+        if detector.step(features[i], int(labels[i]), int(predictions[i])):
+            alarms.append(i)
+    _replay_cache[name] = alarms
+    return alarms
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def _first_divergence(expected: list[int], actual: list[int]) -> int:
+    for index, (a, b) in enumerate(zip(expected, actual)):
+        if a != b:
+            return index
+    return min(len(expected), len(actual))
+
+
+@pytest.mark.parametrize("name", DETECTORS)
+def test_detector_matches_golden(name: str, golden_input, request) -> None:
+    actual = replay_detector(name, golden_input)
+    meta = golden_input[3]
+    path = golden_path(name)
+
+    if request.config.getoption("--regen-golden"):
+        path.write_text(
+            json.dumps(
+                {"detector": name, "input": meta, "detections": actual},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return
+
+    if not path.exists():
+        pytest.fail(
+            f"no golden file for detector {name!r} at {path}.\n"
+            f"Generate it with: pytest tests/golden --regen-golden"
+        )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert golden["input"] == meta, (
+        f"golden input parameters for {name!r} do not match the harness "
+        f"(golden {golden['input']} vs current {meta}); regenerate the "
+        f"goldens with --regen-golden"
+    )
+    expected = list(golden["detections"])
+    if actual != expected:
+        divergence = _first_divergence(expected, actual)
+        pytest.fail(
+            f"seeded detections of {name!r} changed.\n"
+            f"  expected {len(expected)} detections: {expected}\n"
+            f"  actual   {len(actual)} detections: {actual}\n"
+            f"  first divergence at alarm #{divergence}: "
+            f"expected {expected[divergence] if divergence < len(expected) else '<none>'}, "
+            f"got {actual[divergence] if divergence < len(actual) else '<none>'}\n"
+            f"If this change is intentional, regenerate with "
+            f"`pytest tests/golden --regen-golden` and commit the diff."
+        )
+
+
+def test_every_registry_detector_has_a_golden() -> None:
+    """A new detector must be pinned before it ships."""
+    missing = [name for name in DETECTORS if not golden_path(name).exists()]
+    assert not missing, (
+        f"detectors without golden files: {missing}; run "
+        f"`pytest tests/golden --regen-golden`"
+    )
+
+
+def test_golden_inputs_trip_most_detectors(golden_input) -> None:
+    """Sanity: the fixture's drift signal is strong enough to be pinnable.
+
+    If a refactor of the harness weakened the injected error signal, every
+    golden would silently pin an empty detection list; require that a clear
+    majority of detectors fire at least once.
+    """
+    firing = sum(1 for name in DETECTORS if replay_detector(name, golden_input))
+    assert firing >= len(DETECTORS) // 2 + 1

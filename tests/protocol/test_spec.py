@@ -1,0 +1,127 @@
+"""ProtocolSpec expansion, validation, serialisation, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.base import DriftDetector
+from repro.protocol.registry import DETECTOR_NAMES, build_detector, detector_factory
+from repro.protocol.spec import ProtocolCell, ProtocolSpec, benchmark_name, build_scenario
+from repro.streams.scenarios import ScenarioStream
+
+
+class TestExpansion:
+    def test_paper_spec_matches_the_papers_cross_product(self):
+        spec = ProtocolSpec.paper(seeds=(0, 1))
+        # 4 families x 3 class counts x 3 scenarios x 6 detectors x 2 seeds.
+        assert len(spec) == 4 * 3 * 3 * 6 * 2
+        cells = spec.expand()
+        assert len(cells) == len(spec)
+        assert len(set(cells)) == len(cells)
+        assert len(set(spec.benchmarks())) == 36
+
+    def test_expansion_order_is_deterministic(self):
+        spec = ProtocolSpec.quick()
+        assert spec.expand() == spec.expand()
+        assert [cell.detector for cell in spec.expand()] == ["DDM", "RBM-IM"]
+
+    def test_benchmark_names_match_scenario_builders(self):
+        for scenario_id in (1, 2, 3):
+            built = build_scenario(
+                0,
+                family="rbf",
+                n_classes=5,
+                scenario=scenario_id,
+                n_instances=500,
+                n_drifts=1,
+                max_imbalance_ratio=10.0,
+            )
+            assert isinstance(built, ScenarioStream)
+            assert built.name == benchmark_name("rbf", 5, scenario_id)
+
+    def test_stream_factory_is_picklable_and_seed_sensitive(self):
+        import pickle
+
+        spec = ProtocolSpec.quick()
+        cell = spec.expand()[0]
+        factory = pickle.loads(pickle.dumps(spec.stream_factory(cell)))
+        a = factory(0)
+        b = factory(1)
+        xa, _ = a.stream.generate_batch(50)
+        xb, _ = b.stream.generate_batch(50)
+        assert (xa != xb).any()
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            ProtocolSpec(families=("sea",))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="scenarios"):
+            ProtocolSpec(scenarios=(4,))
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            ProtocolSpec(detectors=("NOPE",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec(seeds=())
+
+    def test_unknown_scenario_in_builder(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario(
+                0,
+                family="rbf",
+                n_classes=5,
+                scenario=9,
+                n_instances=100,
+                n_drifts=1,
+                max_imbalance_ratio=10.0,
+            )
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        spec = ProtocolSpec.quick()
+        assert ProtocolSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            ProtocolSpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_keys_embed_readable_slug(self):
+        spec = ProtocolSpec.quick()
+        cell = ProtocolCell(
+            family="rbf", n_classes=5, scenario=1, detector="DDM", seed=0
+        )
+        key = spec.cell_key(cell)
+        assert key.startswith("scenario1-Rbf5.DDM.s0.")
+
+
+class TestRegistry:
+    def test_full_zoo_is_registered(self):
+        # The paper's six plus the standard baselines; "none" for detector-less.
+        assert len([n for n in DETECTOR_NAMES if n != "none"]) >= 11
+        assert "RBM-IM" in DETECTOR_NAMES
+        assert "none" in DETECTOR_NAMES
+
+    @pytest.mark.parametrize("name", [n for n in DETECTOR_NAMES if n != "none"])
+    def test_every_builder_constructs(self, name):
+        detector = build_detector(name, n_features=8, n_classes=4)
+        assert isinstance(detector, DriftDetector)
+
+    def test_none_builds_no_detector(self):
+        assert detector_factory("none") is None
+        assert build_detector("none", 8, 4) is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            detector_factory("DDM2")
+
+    def test_builders_are_picklable(self):
+        import pickle
+
+        for name in DETECTOR_NAMES:
+            pickle.dumps(detector_factory(name))

@@ -1,0 +1,170 @@
+"""Property-based tests for the ResultsStore: round-trips, crashes, stability.
+
+The store's contract is brutal on purpose: *any* visible record is complete
+and parseable, *any* interrupted write is invisible, and cell keys never
+depend on process state.  Hypothesis drives arbitrary JSON-shaped records
+through write -> (simulated crash) -> reload cycles to hold it to that.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.spec import ProtocolSpec
+from repro.protocol.store import ResultsStore
+
+# JSON-representable values (round-trippable: no NaN, no non-string keys).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=15), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+_records = st.dictionaries(st.text(max_size=20), _json_values, max_size=8)
+_keys = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=".-_"
+    ),
+    min_size=1,
+    max_size=60,
+).filter(lambda key: not key.startswith(".") and key != "spec")
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(key=_keys, record=_records)
+def test_round_trip(tmp_path_factory, key, record):
+    store = ResultsStore(tmp_path_factory.mktemp("store"))
+    store.put(key, record)
+    assert key in store
+    assert store.get(key) == record
+    # A fresh store over the same directory (process-restart analogue) sees
+    # the identical record.
+    assert ResultsStore(store.root).get(key) == record
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(record=_records, cut=st.integers(min_value=0, max_value=200))
+def test_truncated_record_reads_as_absent_and_is_recoverable(
+    tmp_path_factory, record, cut
+):
+    """A record truncated by a crashed non-atomic writer is simply 'missing'."""
+    store = ResultsStore(tmp_path_factory.mktemp("store"))
+    store.put("cell", record)
+    path = store.path_for("cell")
+    payload = path.read_bytes()
+    truncated = payload[: min(cut, max(0, len(payload) - 1))]
+    path.write_bytes(truncated)
+
+    reloaded = ResultsStore(store.root)
+    assert reloaded.get("cell") is None
+    assert "cell" not in reloaded
+    assert reloaded.keys() == []
+    # The pipeline's response is to recompute and re-put: that must heal it.
+    reloaded.put("cell", record)
+    assert reloaded.get("cell") == record
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(record=_records)
+def test_stray_tmp_files_are_invisible(tmp_path_factory, record):
+    """A crash between tmp-write and rename leaves no phantom records."""
+    store = ResultsStore(tmp_path_factory.mktemp("store"))
+    store.put("done", record)
+    # Simulate a write that died before os.replace: a lingering tmp file.
+    (store.root / ".tmp-deadbeef.json").write_text(
+        json.dumps(record)[: max(0, len(json.dumps(record)) // 2)],
+        encoding="utf-8",
+    )
+    assert store.keys() == [store.path_for("done").stem]
+    assert dict(store.records()) == {store.path_for("done").stem: record}
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(first=_records, second=_records)
+def test_put_overwrites_atomically(tmp_path_factory, first, second):
+    store = ResultsStore(tmp_path_factory.mktemp("store"))
+    store.put("cell", first)
+    store.put("cell", second)
+    assert store.get("cell") == second
+    assert len(store) == 1
+
+
+def test_cell_keys_stable_across_process_restarts(tmp_path: Path):
+    """Keys are pure content hashes: a fresh interpreter derives them bit-equal.
+
+    This is the property resumability rests on — if keys drifted between
+    processes (e.g. hash randomisation, dict ordering, repr formatting), a
+    resumed run would recompute everything or, worse, mis-attribute records.
+    """
+    spec = ProtocolSpec.quick()
+    keys_here = [spec.cell_key(cell) for cell in spec.expand()]
+
+    script = (
+        "from repro.protocol.spec import ProtocolSpec\n"
+        "spec = ProtocolSpec.quick()\n"
+        "print('\\n'.join(spec.cell_key(c) for c in spec.expand()))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "31337", "PATH": ""},
+        cwd=Path(__file__).resolve().parents[2],
+    )
+    keys_there = out.stdout.strip().splitlines()
+    assert keys_there == keys_here
+
+
+def test_cell_keys_change_with_run_parameters():
+    """Any run-affecting field flips every key (stale-cache protection)."""
+    base = ProtocolSpec.quick()
+    longer = ProtocolSpec.quick()
+    longer.n_instances += 1
+    cells = base.expand()
+    assert [base.cell_key(c) for c in cells] != [longer.cell_key(c) for c in cells]
+
+
+def test_cell_keys_unique_per_cell():
+    spec = ProtocolSpec(
+        name="grid",
+        families=("rbf", "agrawal"),
+        class_counts=(5, 10),
+        scenarios=(1, 2, 3),
+        detectors=("DDM", "ADWIN"),
+        seeds=(0, 1),
+        n_instances=500,
+    )
+    keys = [spec.cell_key(cell) for cell in spec.expand()]
+    assert len(set(keys)) == len(keys) == len(spec)
