@@ -1,24 +1,33 @@
 """Throughput benchmark: instance-mode vs batch-mode prequential execution.
 
-Measures instances/second of the full RBM-IM prequential path (stream
-generation -> classifier test -> detector step -> classifier train -> windowed
-metrics) in the three execution modes of :class:`PrequentialRunner`:
+Measures instances/second of the full prequential path (stream generation ->
+classifier test -> detector step -> classifier train -> windowed metrics) in
+the three execution modes of :class:`PrequentialRunner`:
 
 * ``instance`` — the classic one-``Instance``-at-a-time loop (baseline);
 * ``chunk-exact`` — vectorized stream fetch, per-instance models
   (bit-identical results);
-* ``batch`` — chunk-granular test-then-train over the batch APIs.
+* ``batch`` — chunk-granular test-then-train over the batch APIs, driving
+  every detector's NumPy-native ``step_batch`` kernel.
+
+Two workload families are measured: the RBM-IM reference path of the earlier
+baselines, and the full *detector zoo* — every detector in the registry on
+the same stream/classifier, instance vs batch mode, with the aggregate
+speedup across the zoo as the headline number.
 
 Run as a pytest harness (``PYTHONPATH=src python -m pytest
-benchmarks/test_bench_throughput.py``) for a scaled-down regression check, or
-as a script (``PYTHONPATH=src python benchmarks/test_bench_throughput.py``) to
+benchmarks/test_bench_throughput.py``) for a scaled-down regression check, as
+a script (``PYTHONPATH=src python benchmarks/test_bench_throughput.py``) to
 record the full measurement into ``BENCH_throughput.json`` at the repository
-root — the perf trajectory future changes are compared against.
+root — the perf trajectory future changes are compared against — or with
+``--smoke`` (used by CI) for a seconds-long run that exercises the whole
+harness without touching the recorded trajectory.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 
@@ -27,11 +36,22 @@ from bench_common import stream_length
 from repro.classifiers import GaussianNaiveBayes
 from repro.core.detector import RBMIM, RBMIMConfig
 from repro.evaluation.prequential import PrequentialRunner
+from repro.protocol.registry import DETECTOR_NAMES, build_detector
 from repro.streams.generators import SEAGenerator
 
 #: Conservative CI floor: the recorded baseline shows >= 5x on an idle
 #: machine; shared runners are noisy, so the regression gate is looser.
 MIN_SPEEDUP = 2.5
+
+#: Floor for the aggregate batch-vs-instance speedup across the detector zoo
+#: (recorded baseline >= 3x; same noise allowance as above).
+MIN_ZOO_AGGREGATE_SPEEDUP = 2.0
+
+#: Every registry detector (the paper's zoo); "none" is the detector-less
+#: baseline and measures only classifier/stream overhead.
+ZOO_DETECTORS = tuple(name for name in DETECTOR_NAMES if name != "none")
+
+ZOO_STREAM_SHAPE = dict(n_classes=5, n_features=10)
 
 WORKLOADS = {
     "sea3-rbmim": dict(n_classes=3, n_features=3),
@@ -75,6 +95,65 @@ def measure_throughput(
             best = max(best, n_instances / elapsed)
         throughput[mode] = best
     return throughput
+
+
+def measure_detector_zoo(
+    n_instances: int,
+    repeats: int = 2,
+    detectors: tuple[str, ...] = ZOO_DETECTORS,
+) -> dict:
+    """Instance vs batch throughput of every registry detector.
+
+    Each detector runs the full prequential path (SEA stream, Gaussian NB)
+    once per mode and repeat; reported per-detector numbers are
+    best-of-``repeats``, and the aggregate speedup divides total instances
+    processed by total wall time per mode (so slow detectors dominate, as
+    they do in the real protocol grid).
+    """
+    runner = PrequentialRunner(_nb_factory, pretrain_size=200, snapshot_every=10**9)
+    n_classes = ZOO_STREAM_SHAPE["n_classes"]
+    n_features = ZOO_STREAM_SHAPE["n_features"]
+    per_detector: dict[str, dict] = {}
+    total_time = {"instance": 0.0, "batch": 0.0}
+    for name in detectors:
+        throughput: dict[str, float] = {}
+        for mode, kwargs in (
+            ("instance", {}),
+            ("batch", dict(chunk_size=1024, batch_mode=True)),
+        ):
+            mode_best_time = math.inf
+            for _ in range(repeats):
+                stream = SEAGenerator(seed=1, **ZOO_STREAM_SHAPE)
+                detector = build_detector(name, n_features, n_classes)
+                started = time.perf_counter()
+                runner.run(stream, detector, n_instances=n_instances, **kwargs)
+                mode_best_time = min(
+                    mode_best_time, time.perf_counter() - started
+                )
+            throughput[mode] = n_instances / mode_best_time
+            total_time[mode] += mode_best_time
+        per_detector[name] = {
+            "instances_per_sec": {
+                mode: round(value, 1) for mode, value in throughput.items()
+            },
+            "speedup_batch_vs_instance": round(
+                throughput["batch"] / throughput["instance"], 2
+            ),
+        }
+    return {
+        "description": (
+            "Instance-mode vs batch-mode prequential throughput of every "
+            "registry detector (SEA stream, Gaussian NB classifier); "
+            "best-of-N per detector, aggregate = total instances / total "
+            "wall time across the zoo."
+        ),
+        "n_instances": n_instances,
+        "stream": ZOO_STREAM_SHAPE,
+        "per_detector": per_detector,
+        "aggregate_speedup_batch_vs_instance": round(
+            total_time["instance"] / total_time["batch"], 2
+        ),
+    }
 
 
 def run_benchmark(n_instances: int, repeats: int = 3) -> dict:
@@ -129,8 +208,31 @@ class TestThroughput:
         assert throughput["chunk-exact"] >= 0.9 * throughput["instance"]
 
 
-def main() -> None:
+class TestDetectorZoo:
+    def test_zoo_kernels_beat_instance_mode(self):
+        n_instances = stream_length(4_000, 20_000)
+        results = measure_detector_zoo(n_instances=n_instances, repeats=1)
+        assert set(results["per_detector"]) == set(ZOO_DETECTORS)
+        aggregate = results["aggregate_speedup_batch_vs_instance"]
+        assert aggregate >= MIN_ZOO_AGGREGATE_SPEEDUP, (
+            f"detector-zoo batch path only {aggregate:.2f}x faster than "
+            f"instance mode (floor {MIN_ZOO_AGGREGATE_SPEEDUP}x; recorded "
+            "baseline in BENCH_throughput.json shows >= 3x)"
+        )
+
+
+def main(smoke: bool = False) -> None:
+    if smoke:
+        # CI harness check: tiny streams, full detector zoo, no recording.
+        results = measure_detector_zoo(n_instances=1_500, repeats=1)
+        print(json.dumps(results, indent=2))
+        missing = set(ZOO_DETECTORS) - set(results["per_detector"])
+        if missing:
+            raise SystemExit(f"zoo benchmark skipped detectors: {sorted(missing)}")
+        print("\nsmoke OK: all detectors measured in both modes")
+        return
     results = run_benchmark(n_instances=30_000, repeats=3)
+    results["detector_zoo"] = measure_detector_zoo(n_instances=20_000, repeats=2)
     path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
     path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(results, indent=2))
@@ -138,4 +240,12 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long zoo run for CI; does not write BENCH_throughput.json",
+    )
+    main(smoke=parser.parse_args().smoke)

@@ -198,6 +198,7 @@ class RBMIM(InstanceDetector):
             balance_decay=self._cfg.balance_decay,
             seed=self._cfg.seed,
         )
+        self._rbm_config = rbm_config
         self._rbm = SkewInsensitiveRBM(rbm_config)
         self._scaler = OnlineMinMaxScaler(n_features, forget=self._cfg.scaler_forget)
         self._monitors = [
@@ -239,11 +240,23 @@ class RBMIM(InstanceDetector):
         return self._monitors[label].tracker.trend_history
 
     def reset(self) -> None:
+        """Reset to a freshly constructed detector.
+
+        Rebuilds the RBM (same seed) and the scaler and clears the warm-start
+        flag, so a reset detector replays a stream exactly like a new
+        instance — stale weights or feature ranges cannot leak into the next
+        run.
+        """
         super().reset()
         for monitor in self._monitors:
             monitor.reset()
         self._buffer_x.clear()
         self._buffer_y.clear()
+        self._rbm = SkewInsensitiveRBM(self._rbm_config)
+        self._scaler = OnlineMinMaxScaler(
+            self._n_features, forget=self._cfg.scaler_forget
+        )
+        self._warm_started = False
         self._batches_processed = 0
         self._last_per_class_errors = np.full(self._n_classes, np.nan)
 

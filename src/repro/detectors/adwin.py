@@ -1,44 +1,33 @@
 """ADWIN — ADaptive WINdowing (Bifet & Gavalda, 2007).
 
 ADWIN maintains a variable-length window of recent real values, stored in an
-exponential histogram of buckets.  Whenever the means of two sub-windows
-differ by more than a bound derived from the Hoeffding inequality, the older
-sub-window is dropped and a change is signalled.  Besides being one of the
-reference detectors, ADWIN provides the *self-adaptive window size* used by
-RBM-IM's trend estimation (Eq. 28-37 of the paper), exposed through
+exponential histogram of buckets (:class:`~repro.core.windows.
+ExponentialBuckets`).  Whenever the means of two sub-windows differ by more
+than a bound derived from the Hoeffding inequality, the older sub-window is
+dropped and a change is signalled.  Besides being one of the reference
+detectors, ADWIN provides the *self-adaptive window size* used by RBM-IM's
+trend estimation (Eq. 28-37 of the paper), exposed through
 :attr:`ADWIN.width`.
+
+The batch kernel precomputes the window statistics for a whole chunk (the
+running totals and incremental variances are exact for the 0/1 error stream
+``step_batch`` monitors), feeds the histogram in bulk, and evaluates the cut
+test only at the clock positions, with the per-boundary scan vectorized over
+the buckets.  The scalar cut scan is kept untouched so real-valued
+``add_element`` streams (e.g. RBM-IM's trend windows) behave exactly as
+before; for the binary streams both scans are bit-identical.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 
+import numpy as np
+
+from repro.core.windows import ExponentialBuckets, exclusive_totals, running_totals
 from repro.detectors.base import ErrorRateDetector
 
 __all__ = ["ADWIN"]
-
-_MAX_BUCKETS_PER_ROW = 5
-
-
-class _BucketRow:
-    """A row of buckets, all holding ``2**level`` elements each."""
-
-    __slots__ = ("totals", "variances")
-
-    def __init__(self) -> None:
-        self.totals: deque[float] = deque()
-        self.variances: deque[float] = deque()
-
-    def __len__(self) -> int:
-        return len(self.totals)
-
-    def append(self, total: float, variance: float) -> None:
-        self.totals.append(total)
-        self.variances.append(variance)
-
-    def pop_oldest(self) -> tuple[float, float]:
-        return self.totals.popleft(), self.variances.popleft()
 
 
 class ADWIN(ErrorRateDetector):
@@ -71,7 +60,7 @@ class ADWIN(ErrorRateDetector):
         self._init_buckets()
 
     def _init_buckets(self) -> None:
-        self._rows: list[_BucketRow] = [_BucketRow()]
+        self._buckets = ExponentialBuckets()
         self._total = 0.0
         self._variance = 0.0
         self._width = 0
@@ -120,35 +109,7 @@ class ADWIN(ErrorRateDetector):
         self._width += 1
         self._total += value
         self._variance += incremental_variance
-        self._rows[0].append(value, 0.0)
-        self._compress()
-
-    def _compress(self) -> None:
-        level = 0
-        while level < len(self._rows):
-            row = self._rows[level]
-            if len(row) <= _MAX_BUCKETS_PER_ROW:
-                break
-            if level + 1 == len(self._rows):
-                self._rows.append(_BucketRow())
-            total_1, variance_1 = row.pop_oldest()
-            total_2, variance_2 = row.pop_oldest()
-            n = float(2**level)
-            mean_1, mean_2 = total_1 / n, total_2 / n
-            merged_variance = (
-                variance_1
-                + variance_2
-                + n * n / (2.0 * n) * (mean_1 - mean_2) * (mean_1 - mean_2)
-            )
-            self._rows[level + 1].append(total_1 + total_2, merged_variance)
-            level += 1
-
-    def _iter_buckets_oldest_first(self):
-        for level in range(len(self._rows) - 1, -1, -1):
-            row = self._rows[level]
-            size = float(2**level)
-            for total, variance in zip(row.totals, row.variances):
-                yield size, total, variance
+        self._buckets.append(value)
 
     def _detect_cut(self) -> bool:
         """Look for a split point where the two sub-window means differ."""
@@ -160,7 +121,7 @@ class ADWIN(ErrorRateDetector):
             sum0 = 0.0
             n1 = float(self._width)
             sum1 = self._total
-            buckets = list(self._iter_buckets_oldest_first())
+            buckets = list(self._buckets.oldest_first())
             for size, total, _variance in buckets[:-1]:
                 n0 += size
                 sum0 += total
@@ -190,13 +151,10 @@ class ADWIN(ErrorRateDetector):
         return abs(mean0 - mean1) > epsilon
 
     def _drop_oldest_bucket(self) -> None:
-        level = len(self._rows) - 1
-        while level >= 0 and len(self._rows[level]) == 0:
-            level -= 1
-        if level < 0:
+        popped = self._buckets.pop_oldest()
+        if popped is None:
             return
-        size = float(2**level)
-        total, variance = self._rows[level].pop_oldest()
+        size, total, variance = popped
         if self._width > size:
             mean = total / size
             overall_mean = self._total / self._width
@@ -208,3 +166,91 @@ class ADWIN(ErrorRateDetector):
         self._total -= total
         if self._width <= 0:
             self._init_buckets()
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        return self._run_segments(errors)
+
+    def _kernel_segment(self, errors: np.ndarray) -> tuple[int, bool, bool]:
+        """Consume elements until a detection shrinks the window (or the end).
+
+        Between detections the window only grows, so the running totals and
+        incremental variances for the whole span can be precomputed in one
+        vectorized pass (exact for the 0/1 inputs of the error stream); the
+        histogram is fed in bulk and the scalar aggregates are only
+        materialised at the clock boundaries where the cut test runs.
+        """
+        k = errors.shape[0]
+        widths_excl = self._width + np.arange(k, dtype=np.float64)
+        totals_excl = exclusive_totals(errors, self._total)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = totals_excl / widths_excl
+        diff = errors - means
+        incremental = widths_excl / (widths_excl + 1.0) * diff * diff
+        incremental = np.where(widths_excl > 0.0, incremental, 0.0)
+        acc_variance = running_totals(incremental, self._variance)
+        totals = running_totals(errors, self._total)
+        ticks = self._tick + np.arange(1, k + 1, dtype=np.int64)
+        widths = self._width + np.arange(1, k + 1, dtype=np.int64)
+        checks = np.flatnonzero(
+            (ticks % self._clock == 0) & (widths > self._min_window_length)
+        )
+        values = errors.tolist()
+        buckets = self._buckets
+        applied = 0
+        for c in checks.tolist():
+            for j in range(applied, c + 1):
+                buckets.append(values[j])
+            applied = c + 1
+            self._width = int(widths[c])
+            self._total = float(totals[c])
+            self._variance = float(acc_variance[c])
+            self._tick = int(ticks[c])
+            if self._detect_cut_vectorized():
+                return c + 1, True, False
+        for j in range(applied, k):
+            buckets.append(values[j])
+        self._width = int(widths[-1])
+        self._total = float(totals[-1])
+        self._variance = float(acc_variance[-1])
+        self._tick = int(ticks[-1])
+        return k, False, False
+
+    def _detect_cut_vectorized(self) -> bool:
+        """Cut scan with all split points evaluated at once.
+
+        The scalar scan acts on the *first* cut it finds by dropping the
+        oldest bucket and rescanning; since the action does not depend on
+        where the cut was, "any split cuts" is decision-equivalent.  The
+        cumulative sub-window sums are exact for integer-valued window
+        contents, making this bit-identical to :meth:`_detect_cut` for the
+        binary error stream.
+        """
+        change_found = False
+        while True:
+            sizes, totals = self._buckets.arrays_oldest_first()
+            if sizes.shape[0] <= 1:
+                return change_found
+            n0 = np.add.accumulate(sizes[:-1])
+            sum0 = np.add.accumulate(totals[:-1])
+            n1 = self._width - n0
+            sum1 = self._total - sum0
+            valid = (n0 >= self._min_window_length) & (n1 >= self._min_window_length)
+            if not valid.any():
+                return change_found
+            with np.errstate(invalid="ignore", divide="ignore"):
+                mean0 = sum0 / n0
+                mean1 = sum1 / n1
+                harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+            n = float(self._width)
+            delta_prime = self._delta / math.log(max(n, math.e))
+            variance = self.variance
+            log_term = math.log(2.0 / delta_prime)
+            epsilon = np.sqrt((2.0 / harmonic) * variance * log_term) + (
+                2.0 / (3.0 * harmonic)
+            ) * log_term
+            cut = valid & (np.abs(mean0 - mean1) > epsilon)
+            if not cut.any():
+                return change_found
+            change_found = True
+            self._drop_oldest_bucket()

@@ -113,3 +113,87 @@ class DDM_OCI(ClassConditionalDetector):
         self._best_stat[label] = -math.inf
         self._recall_mean[label] = 0.0
         self._recall_m2[label] = 0.0
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_results(
+        self, y_true: np.ndarray, y_pred: np.ndarray
+    ) -> tuple[np.ndarray, list[set[int] | None]]:
+        """Tight-loop kernel over hoisted per-class state.
+
+        The per-class decayed-recall and Welford recurrences are inherently
+        sequential, so the kernel keeps the state in plain Python lists and
+        replays the exact scalar operations — several times faster than the
+        per-instance adapter (no attribute traffic, no NumPy scalar churn)
+        and bit-identical to it.  A drift resets only the affected class, so
+        the loop never needs to restart.
+        """
+        n = y_true.shape[0]
+        flags = np.zeros(n, dtype=bool)
+        classes: list[set[int] | None] = []
+        if n == 0:
+            return flags, classes
+        self._in_drift = False
+        self._in_warning = False
+        self._drifted_classes = None
+        recall = self._recall.tolist()
+        counts = self._class_counts.tolist()
+        best = self._best_stat.tolist()
+        means = self._recall_mean.tolist()
+        m2s = self._recall_m2.tolist()
+        decay = self._decay
+        one_minus = 1.0 - decay
+        min_errors = self._min_errors
+        warn_thr = self._warning_threshold
+        drift_thr = self._drift_threshold
+        sqrt = math.sqrt
+        labels = y_true.tolist()
+        hits = (y_true == y_pred).tolist()
+        in_drift = False
+        in_warning = False
+        drifted_classes: set[int] | None = None
+        for i in range(n):
+            in_drift = False
+            in_warning = False
+            drifted_classes = None
+            label = labels[i]
+            hit = 1.0 if hits[i] else 0.0
+            r = decay * recall[label] + one_minus * hit
+            recall[label] = r
+            count = counts[label] + 1
+            counts[label] = count
+            delta = r - means[label]
+            mean = means[label] + delta / count
+            means[label] = mean
+            m2 = m2s[label] + delta * (r - mean)
+            m2s[label] = m2
+            if count < min_errors:
+                continue
+            std = sqrt(m2 / count)
+            stat = r + std
+            if stat > best[label]:
+                best[label] = stat
+                continue
+            if best[label] <= 0.0:
+                continue
+            ratio = stat / best[label]
+            if ratio < drift_thr:
+                in_drift = True
+                drifted_classes = {label}
+                flags[i] = True
+                classes.append({label})
+                recall[label] = 0.5
+                counts[label] = 0
+                best[label] = -math.inf
+                means[label] = 0.0
+                m2s[label] = 0.0
+            elif ratio < warn_thr:
+                in_warning = True
+        self._recall = np.asarray(recall, dtype=np.float64)
+        self._class_counts = np.asarray(counts, dtype=np.int64)
+        self._best_stat = np.asarray(best, dtype=np.float64)
+        self._recall_mean = np.asarray(means, dtype=np.float64)
+        self._recall_m2 = np.asarray(m2s, dtype=np.float64)
+        self._in_drift = in_drift
+        self._in_warning = in_warning
+        self._drifted_classes = drifted_classes
+        return flags, classes

@@ -5,13 +5,20 @@ indicators (1 = correct).  It remembers the maximum windowed probability of a
 correct prediction seen within the current concept and signals a drift when
 the current windowed probability falls below that maximum by more than the
 Hoeffding bound ``sqrt(ln(1/delta) / (2 n))``.
+
+The window lives in a :class:`~repro.core.windows.RingWindow` whose
+maintained sum is exact for the 0/1 indicator contents, so the scalar path is
+O(1) per element and the batch kernel (rolling sums over the concatenated
+window + chunk) is bit-identical to per-instance stepping.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 
+import numpy as np
+
+from repro.core.windows import RingWindow
 from repro.detectors.base import ErrorRateDetector
 
 __all__ = ["FHDDM"]
@@ -40,7 +47,7 @@ class FHDDM(ErrorRateDetector):
         self._reset_concept()
 
     def _reset_concept(self) -> None:
-        self._window: deque[float] = deque(maxlen=self._window_size)
+        self._window = RingWindow(self._window_size)
         self._p_max = 0.0
 
     def reset(self) -> None:
@@ -57,9 +64,41 @@ class FHDDM(ErrorRateDetector):
         self._window.append(correct)
         if len(self._window) < self._window_size:
             return
-        p_current = sum(self._window) / self._window_size
+        p_current = self._window.sum / self._window_size
         if p_current > self._p_max:
             self._p_max = p_current
         if self._p_max - p_current > self._epsilon:
             self._in_drift = True
             self._reset_concept()
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        return self._run_segments(errors)
+
+    def _kernel_segment(self, errors: np.ndarray) -> tuple[int, bool, bool]:
+        k = errors.shape[0]
+        ws = self._window_size
+        correct = np.where(errors > 0.5, 0.0, 1.0)
+        stored = len(self._window)
+        combined = np.concatenate([self._window.values(), correct])
+        total = combined.shape[0]
+        if total < ws:
+            self._window.assign(combined)
+            return k, False, False
+        # Rolling window sums (exact: 0/1 contents) for every chunk element
+        # whose arrival leaves the window full; the first such element is at
+        # chunk index ws-1-stored (or 0 if the window was already full).
+        full_start = max(0, ws - 1 - stored)
+        csum = np.concatenate([[0.0], np.add.accumulate(combined)])
+        ends = stored + np.arange(full_start, k, dtype=np.int64) + 1
+        window_sums = csum[ends] - csum[ends - ws]
+        p = window_sums / ws
+        p_max = np.maximum(np.maximum.accumulate(p), self._p_max)
+        drift = p_max - p > self._epsilon
+        if drift.any():
+            hit = int(np.argmax(drift))
+            self._reset_concept()
+            return full_start + hit + 1, True, False
+        self._window.assign(combined)
+        self._p_max = float(p_max[-1])
+        return k, False, False

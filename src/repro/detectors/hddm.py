@@ -10,18 +10,41 @@ Two variants are provided:
 
 Both support one-sided or two-sided monitoring; for classifier error streams
 the one-sided (increase in error) test is the standard configuration.
+
+HDDM-A's state is a pair of (count, sum) snapshots selected by weak
+prefix-extremum updates, so its batch kernel vectorizes completely on the
+shared windows core.  HDDM-W's EWMA recurrences are inherently sequential;
+its kernel replays them in a tight scalar loop with identical operations.
+Both kernels are bit-identical to per-instance stepping.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
+from repro.core.windows import (
+    gather_tracked,
+    hoeffding_bound,
+    running_totals,
+    tracked_weak_max,
+    tracked_weak_min,
+)
 from repro.detectors.base import ErrorRateDetector
 
 __all__ = ["HDDM_A", "HDDM_W"]
 
 
 def _hoeffding_bound(n: float, confidence: float) -> float:
+    """Scalar-loop twin of :func:`repro.core.windows.hoeffding_bound`.
+
+    Kept as ``math``-based scalar ops for the per-instance hot path; the
+    windows-core helper computes the identical value (the expression shape
+    matches and sqrt/log are correctly rounded), which
+    ``tests/core/test_windows.py`` pins — the batch kernels rely on the
+    agreement.
+    """
     return math.sqrt(math.log(1.0 / confidence) / (2.0 * n))
 
 
@@ -115,6 +138,80 @@ class HDDM_A(ErrorRateDetector):
             self._reset_concept()
         elif self._mean_incr(self._warning_confidence):
             self._in_warning = True
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        return self._run_segments(errors)
+
+    @staticmethod
+    def _mean_test(n, s, n_ref, s_ref, confidence, decrease=False):
+        """Vectorized one-sided mean-shift test against a reference snapshot.
+
+        Mirrors :meth:`_mean_incr` (``decrease=False``) and
+        :meth:`_mean_decr` (``decrease=True``) element-wise.
+        """
+        valid = (n_ref > 0.0) & (n != n_ref)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            m = (n - n_ref) / n_ref * (1.0 / n)
+            bound = np.sqrt(m / 2.0 * math.log(2.0 / confidence))
+            if decrease:
+                cond = s_ref / n_ref - s / n >= bound
+            else:
+                cond = s / n - s_ref / n_ref >= bound
+        return valid & cond
+
+    def _kernel_segment(self, errors: np.ndarray) -> tuple[int, bool, bool]:
+        k = errors.shape[0]
+        n_vec = self._n_total + np.arange(1.0, k + 1.0)
+        s_vec = running_totals(errors, self._sum_total)
+        q = s_vec / n_vec
+        bound = hoeffding_bound(n_vec, self._drift_confidence)
+
+        # Reference snapshots follow weak prefix-extremum updates on the
+        # bound-adjusted means; ties re-update, so the latest extremum wins.
+        if self._n_min == 0.0:
+            prior_min = math.inf
+        else:
+            prior_min = self._sum_min / self._n_min + float(
+                hoeffding_bound(self._n_min, self._drift_confidence)
+            )
+        tracked_min = tracked_weak_min(q + bound, prior_min)
+        n_min = gather_tracked(tracked_min, n_vec, self._n_min)
+        s_min = gather_tracked(tracked_min, s_vec, self._sum_min)
+
+        if self._n_max == 0.0:
+            prior_max = -math.inf
+        else:
+            prior_max = self._sum_max / self._n_max - float(
+                hoeffding_bound(self._n_max, self._drift_confidence)
+            )
+        tracked_max = tracked_weak_max(q - bound, prior_max)
+        n_max = gather_tracked(tracked_max, n_vec, self._n_max)
+        s_max = gather_tracked(tracked_max, s_vec, self._sum_max)
+
+        increased = self._mean_test(n_vec, s_vec, n_min, s_min, self._drift_confidence)
+        if self._two_sided:
+            decreased = self._mean_test(
+                n_vec, s_vec, n_max, s_max, self._drift_confidence, decrease=True
+            )
+            drift = increased | decreased
+        else:
+            drift = increased
+        if drift.any():
+            hit = int(np.argmax(drift))
+            self._reset_concept()
+            return hit + 1, True, False
+
+        warning = self._mean_test(
+            n_vec, s_vec, n_min, s_min, self._warning_confidence
+        )
+        self._n_total = float(n_vec[-1])
+        self._sum_total = float(s_vec[-1])
+        self._n_min = float(n_min[-1])
+        self._sum_min = float(s_min[-1])
+        self._n_max = float(n_max[-1])
+        self._sum_max = float(s_max[-1])
+        return k, False, bool(warning[-1])
 
 
 class HDDM_W(ErrorRateDetector):
@@ -212,3 +309,52 @@ class HDDM_W(ErrorRateDetector):
         )
         decreased = self._max_ewma - self._total_ewma >= epsilon_max
         return increased or decreased
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        """Tight-loop kernel: the EWMA recurrences are inherently sequential,
+        so the kernel hoists all state into locals and replays the exact
+        scalar operations, which is several times faster than the generic
+        per-instance adapter while staying bit-identical."""
+        n = errors.shape[0]
+        flags = np.zeros(n, dtype=bool)
+        if n == 0:
+            return flags
+        self._in_drift = False
+        self._in_warning = False
+        self._drifted_classes = None
+        values = errors.tolist()
+        mcd = self._mcdiarmid_bound
+        detect = self._detect
+        lam = self._lambda
+        one_minus = 1.0 - lam
+        decay_sq = (1.0 - lam) ** 2
+        lam_sq = lam**2
+        drift_conf = self._drift_confidence
+        for i in range(n):
+            value = values[i]
+            self._total_ewma = one_minus * self._total_ewma + lam * value
+            self._total_ind_sum = decay_sq * self._total_ind_sum + lam_sq
+            self._total_weight += 1.0
+            bound = mcd(self._total_ind_sum, drift_conf)
+            if self._total_ewma + bound <= self._min_ewma + mcd(
+                self._min_ind_sum, drift_conf
+            ):
+                self._min_ewma = self._total_ewma
+                self._min_ind_sum = self._total_ind_sum
+                self._min_weight = self._total_weight
+            if self._total_ewma - bound >= self._max_ewma - mcd(
+                self._max_ind_sum, drift_conf
+            ):
+                self._max_ewma = self._total_ewma
+                self._max_ind_sum = self._total_ind_sum
+                self._max_weight = self._total_weight
+            self._in_drift = False
+            self._in_warning = False
+            if detect(drift_conf):
+                flags[i] = True
+                self._in_drift = True
+                self._reset_concept()
+            elif detect(self._warning_confidence):
+                self._in_warning = True
+        return flags

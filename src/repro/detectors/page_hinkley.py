@@ -6,10 +6,18 @@ difference between the cumulative sum and its running minimum exceeds the
 threshold ``lambda_`` a change is signalled.  It is a classic sequential
 change detector, included as an additional standard baseline and used in the
 library's ablation studies.
+
+The batch kernel precomputes the running means vectorized (exact for the 0/1
+error stream) and replays the forgetting-factor recurrence in a tight scalar
+loop with identical operations, so detections are bit-identical to
+per-instance stepping.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.windows import running_totals
 from repro.detectors.base import ErrorRateDetector
 
 __all__ = ["PageHinkley"]
@@ -52,7 +60,7 @@ class PageHinkley(ErrorRateDetector):
 
     def _reset_concept(self) -> None:
         self._count = 0
-        self._mean = 0.0
+        self._value_sum = 0.0
         self._cumulative = 0.0
         self._minimum = float("inf")
 
@@ -62,9 +70,10 @@ class PageHinkley(ErrorRateDetector):
 
     def add_element(self, value: float) -> None:
         self._count += 1
-        self._mean += (value - self._mean) / self._count
+        self._value_sum += value
+        mean = self._value_sum / self._count
         self._cumulative = (
-            self._cumulative * self._alpha + value - self._mean - self._delta
+            self._cumulative * self._alpha + value - mean - self._delta
         )
         self._minimum = min(self._minimum, self._cumulative)
 
@@ -73,3 +82,34 @@ class PageHinkley(ErrorRateDetector):
         if self._cumulative - self._minimum > self._threshold:
             self._in_drift = True
             self._reset_concept()
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        return self._run_segments(errors)
+
+    def _kernel_segment(self, errors: np.ndarray) -> tuple[int, bool, bool]:
+        k = errors.shape[0]
+        counts = self._count + np.arange(1, k + 1, dtype=np.int64)
+        sums = running_totals(errors, self._value_sum)
+        means = sums / counts
+        active = counts >= self._min_instances
+        alpha = self._alpha
+        delta = self._delta
+        threshold = self._threshold
+        cumulative = self._cumulative
+        minimum = self._minimum
+        values = errors.tolist()
+        mean_list = means.tolist()
+        active_list = active.tolist()
+        for i in range(k):
+            cumulative = cumulative * alpha + values[i] - mean_list[i] - delta
+            if cumulative < minimum:
+                minimum = cumulative
+            if active_list[i] and cumulative - minimum > threshold:
+                self._reset_concept()
+                return i + 1, True, False
+        self._count = int(counts[-1])
+        self._value_sum = float(sums[-1])
+        self._cumulative = cumulative
+        self._minimum = minimum
+        return k, False, False

@@ -95,7 +95,10 @@ class PerfSim(ClassConditionalDetector):
             self._current_errors += 1
         if self._current_count < self._batch_size:
             return
+        self._evaluate_full_batch()
 
+    def _evaluate_full_batch(self) -> None:
+        """Compare the completed accumulation batch against the reference."""
         current = self._current
         if self._reference is not None and self._current_errors >= self._min_errors:
             similarity = self._cosine_similarity(self._reference, current)
@@ -114,3 +117,43 @@ class PerfSim(ClassConditionalDetector):
         self._current_errors = 0
         if self._in_drift:
             self._reference = None
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_results(
+        self, y_true: np.ndarray, y_pred: np.ndarray
+    ) -> tuple[np.ndarray, list[set[int] | None]]:
+        """Accumulate whole sub-chunks into the confusion matrix at once.
+
+        The expensive work (similarity test) only ever happens at batch
+        boundaries, which the kernel jumps between directly; the integer
+        confusion-matrix increments commute, so the accumulated matrices — and
+        therefore the detections — are bit-identical to per-instance stepping.
+        """
+        n = y_true.shape[0]
+        flags = np.zeros(n, dtype=bool)
+        classes: list[set[int] | None] = []
+        if n == 0:
+            return flags, classes
+        self._in_drift = False
+        self._in_warning = False
+        self._drifted_classes = None
+        consumed = 0
+        while consumed < n:
+            take = min(self._batch_size - self._current_count, n - consumed)
+            chunk_true = y_true[consumed : consumed + take]
+            chunk_pred = y_pred[consumed : consumed + take]
+            np.add.at(self._current, (chunk_true, chunk_pred), 1.0)
+            self._current_count += take
+            self._current_errors += int(np.count_nonzero(chunk_true != chunk_pred))
+            consumed += take
+            self._in_drift = False
+            self._in_warning = False
+            self._drifted_classes = None
+            if self._current_count >= self._batch_size:
+                self._evaluate_full_batch()
+                if self._in_drift:
+                    flags[consumed - 1] = True
+                    classes.append(
+                        set(self._drifted_classes) if self._drifted_classes else None
+                    )
+        return flags, classes

@@ -6,18 +6,49 @@ WSTD keeps two sub-windows over the stream of prediction-correctness bits: an
 samples are compared with the Wilcoxon rank-sum (Mann-Whitney U) test; a
 p-value below the warning/drift significance levels raises the corresponding
 state.
+
+Because the samples are 0/1 indicator bits, the rank test depends only on the
+*counts* ``(n_old, ones_old, n_recent, ones_recent)``: the midranks assigned
+to the tied zeros/ones — and therefore the U statistic, the tie correction,
+and the asymptotic p-value — are invariant to the order of the elements (the
+rank sums are sums of exactly representable half-integers, so even the
+floating-point value is order-independent).  Both the scalar path and the
+batch kernel exploit this by memoising the scipy p-value per count tuple,
+which turns the former O(window) rank computation per instance into O(1)
+amortised and lets the kernel evaluate whole chunks from rolling bit counts,
+bit-identical to per-instance stepping.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from functools import lru_cache
 
 import numpy as np
 from scipy import stats
 
+from repro.core.windows import RingWindow
 from repro.detectors.base import ErrorRateDetector
 
 __all__ = ["WSTD"]
+
+
+@lru_cache(maxsize=65536)
+def _rank_sum_p_value(n_old: int, ones_old: int, n_recent: int, ones_recent: int) -> float:
+    """Two-sided asymptotic Mann-Whitney p-value for two 0/1 samples.
+
+    The samples are reconstructed from their counts; the result is identical
+    (bit-for-bit) to calling scipy on the windows in stream order.
+    """
+    old = np.concatenate(
+        [np.ones(ones_old), np.zeros(n_old - ones_old)]
+    )
+    recent = np.concatenate(
+        [np.ones(ones_recent), np.zeros(n_recent - ones_recent)]
+    )
+    _stat, p_value = stats.mannwhitneyu(
+        old, recent, alternative="two-sided", method="asymptotic"
+    )
+    return float(p_value)
 
 
 class WSTD(ErrorRateDetector):
@@ -57,8 +88,8 @@ class WSTD(ErrorRateDetector):
         self._reset_concept()
 
     def _reset_concept(self) -> None:
-        self._recent: deque[float] = deque(maxlen=self._window_size)
-        self._old: deque[float] = deque(maxlen=self._max_old_instances)
+        self._recent = RingWindow(self._window_size)
+        self._old = RingWindow(self._max_old_instances)
         self._count = 0
 
     def reset(self) -> None:
@@ -69,21 +100,104 @@ class WSTD(ErrorRateDetector):
         correct = 0.0 if value > 0.5 else 1.0
         self._count += 1
         if len(self._recent) == self._window_size:
-            self._old.append(self._recent[0])
+            self._old.append(self._recent.oldest())
         self._recent.append(correct)
 
         if self._count < self._min_instances or len(self._old) < self._window_size:
             return
 
-        old = np.fromiter(self._old, dtype=np.float64)
-        recent = np.fromiter(self._recent, dtype=np.float64)
-        if np.allclose(old, old[0]) and np.allclose(recent, old[0]):
+        n_old = len(self._old)
+        ones_old = int(self._old.sum)
+        ones_recent = int(self._recent.sum)
+        if self._is_constant(n_old, ones_old, len(self._recent), ones_recent):
             return  # identical constant samples: no evidence of change
-        _stat, p_value = stats.mannwhitneyu(
-            old, recent, alternative="two-sided", method="asymptotic"
+        p_value = _rank_sum_p_value(
+            n_old, ones_old, len(self._recent), ones_recent
         )
         if p_value < self._drift_significance:
             self._in_drift = True
             self._reset_concept()
         elif p_value < self._warning_significance:
             self._in_warning = True
+
+    @staticmethod
+    def _is_constant(
+        n_old: int, ones_old: int, n_recent: int, ones_recent: int
+    ) -> bool:
+        """Both samples constant and equal (the rank test is undefined)."""
+        if ones_old == 0:
+            return ones_recent == 0
+        if ones_old == n_old:
+            return ones_recent == n_recent
+        return False
+
+    # ----------------------------------------------------------- batch kernel
+    def _add_elements(self, errors: np.ndarray) -> np.ndarray:
+        return self._run_segments(errors)
+
+    def _kernel_segment(self, errors: np.ndarray) -> tuple[int, bool, bool]:
+        k = errors.shape[0]
+        ws = self._window_size
+        max_old = self._max_old_instances
+        correct = np.where(errors > 0.5, 0, 1).astype(np.int64)
+        stored = np.concatenate(
+            [self._old.values(), self._recent.values()]
+        ).astype(np.int64)
+        n_stored = stored.shape[0]
+        combined = np.concatenate([stored, correct])
+        csum = np.concatenate([[0], np.add.accumulate(combined)])
+
+        # Window geometry after each chunk element: the recent window holds
+        # the newest min(ws, total) bits, the old window the up-to-max_old
+        # bits immediately before them.
+        totals = n_stored + np.arange(1, k + 1, dtype=np.int64)
+        n_recent = np.minimum(ws, totals)
+        recent_start = totals - n_recent
+        n_old = np.minimum(max_old, recent_start)
+        old_start = recent_start - n_old
+        ones_recent = csum[totals] - csum[recent_start]
+        ones_old = csum[recent_start] - csum[old_start]
+
+        counts = self._count + np.arange(1, k + 1, dtype=np.int64)
+        tested = (counts >= self._min_instances) & (n_old >= ws)
+        constant = np.where(
+            ones_old == 0,
+            ones_recent == 0,
+            (ones_old == n_old) & (ones_recent == n_recent),
+        )
+        tested &= ~constant
+        warning_last = False
+        if tested.any():
+            test_idx = np.flatnonzero(tested)
+            triples = np.stack(
+                [n_old[test_idx], ones_old[test_idx], n_recent[test_idx],
+                 ones_recent[test_idx]],
+                axis=1,
+            )
+            unique, inverse = np.unique(triples, axis=0, return_inverse=True)
+            p_unique = np.array(
+                [
+                    _rank_sum_p_value(int(a), int(b), int(c), int(d))
+                    for a, b, c, d in unique
+                ]
+            )
+            p_values = p_unique[inverse]
+            drift = p_values < self._drift_significance
+            if drift.any():
+                hit = int(test_idx[int(np.argmax(drift))])
+                self._reset_concept()
+                return hit + 1, True, False
+            if tested[-1]:
+                warning_last = bool(
+                    p_values[-1] < self._warning_significance
+                )
+        # Commit: windows become the tails of the combined bit stream.
+        total_end = int(totals[-1])
+        rec_start_end = int(recent_start[-1])
+        old_start_end = int(old_start[-1])
+        self._recent.assign(combined[rec_start_end:total_end].astype(np.float64))
+        self._old.assign(
+            combined[old_start_end:rec_start_end].astype(np.float64)
+        )
+        self._count = int(counts[-1])
+        return k, False, warning_last

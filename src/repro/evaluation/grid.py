@@ -327,7 +327,10 @@ class ExperimentGrid:
         Instances per run (``None`` = the scenario's recommended length).
     runner_kwargs:
         Extra :class:`PrequentialRunner` options (``chunk_size``,
-        ``batch_mode``, ``pretrain_size``, ...).
+        ``batch_mode``, ``pretrain_size``, ...).  With ``batch_mode=True``
+        every registry detector runs its NumPy-native ``step_batch`` kernel
+        (chunk-exact detections; see :mod:`repro.detectors.base`), which is
+        the recommended configuration for large grids.
     """
 
     def __init__(

@@ -20,13 +20,15 @@ Three execution modes are provided:
 * **chunked batch mode** (``chunk_size=c, batch_mode=True``) — test-then-train
   at chunk granularity: the whole chunk is scored with
   ``predict_proba_batch``, stepped through ``step_batch``, and trained with
-  ``partial_fit_batch``.  Detection *positions* stay instance-granular, and a
-  drift inside a chunk rebuilds the classifier before the post-drift rows are
-  trained, but rows after a drift within the same chunk were already scored
-  by the pre-drift classifier — the standard interleaved-chunks trade-off.
-  This is the fast path used by the throughput benchmarks; detectors that
-  ignore the prediction stream (e.g. RBM-IM) produce identical detections in
-  every mode.
+  ``partial_fit_batch``.  Every registry detector's ``step_batch`` is a
+  NumPy-native kernel that is *chunk-exact* (bit-identical detections to
+  per-instance stepping for the same prediction stream), so detection
+  *positions* stay instance-granular.  A drift inside a chunk rebuilds the
+  classifier before the post-drift rows are trained, but rows after a drift
+  within the same chunk were already scored by the pre-drift classifier —
+  the standard interleaved-chunks trade-off.  This is the fast path used by
+  the throughput benchmarks; detectors that ignore the prediction stream
+  (e.g. RBM-IM) produce identical detections in every mode.
 """
 
 from __future__ import annotations

@@ -125,6 +125,45 @@ class TestRBMIMNativeBatch:
         assert detector.n_observations == 0
 
 
+def test_empty_chunk_preserves_state():
+    """A zero-length chunk is a strict no-op, like a zero-iteration loop.
+
+    In particular it must not clear the drift/warning flags of the previous
+    step — callers that forward possibly-empty chunks rely on this.
+    """
+    from repro.protocol.registry import DETECTOR_NAMES, build_detector
+
+    rng = np.random.default_rng(9)
+    features = rng.random((600, 8))
+    labels = rng.integers(0, 4, 600).astype(np.int64)
+    predictions = np.where(
+        rng.random(600) < 0.5, labels, rng.integers(0, 4, 600)
+    ).astype(np.int64)
+    empty = (np.empty((0, 8)), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    for name in DETECTOR_NAMES:
+        if name == "none":
+            continue
+        detector = build_detector(name, 8, 4)
+        detector.step_batch(features, labels, predictions)
+        before = (
+            detector.in_drift,
+            detector.in_warning,
+            detector.drifted_classes,
+            detector.n_observations,
+            detector.detections,
+        )
+        flags = detector.step_batch(*empty)
+        assert flags.shape == (0,)
+        after = (
+            detector.in_drift,
+            detector.in_warning,
+            detector.drifted_classes,
+            detector.n_observations,
+            detector.detections,
+        )
+        assert before == after, f"{name}: empty chunk mutated detector state"
+
+
 def test_detection_classes_tracks_detections():
     features, labels = SEAGenerator(n_classes=3, seed=0).generate_batch(500)
     detector = DDM_OCI(n_classes=3)

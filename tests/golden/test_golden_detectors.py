@@ -7,6 +7,12 @@ error rate jumps at every ground-truth drift.  The positions at which the
 detector fires are pinned in one JSON file per detector under
 ``tests/golden/``.
 
+Every detector is replayed in *both* execution modes — the per-instance
+``step`` loop and the NumPy-native ``step_batch`` kernels (over deliberately
+awkward chunk sizes) — against the same pinned positions, so a kernel that
+drifts from its scalar twin fails here even if both change together relative
+to the goldens.
+
 The goldens exist to lock detector behaviour down before refactors: any
 change to a detector's logic, to the stream generators, or to the
 drift/imbalance wrappers that alters a seeded detection sequence fails
@@ -15,7 +21,9 @@ regenerate with::
 
     pytest tests/golden --regen-golden
 
-and commit the resulting diff.
+and commit the resulting diff.  Regeneration refuses to write (and fails
+loudly) while the two execution modes disagree — goldens must never pin a
+mode-dependent detection sequence.
 """
 
 from __future__ import annotations
@@ -82,23 +90,46 @@ def golden_input():
     return features, labels.astype(np.int64), predictions.astype(np.int64), meta
 
 
+#: Deliberately awkward batch-mode chunk sizes: coprime with every detector's
+#: internal window/batch length, and including single-instance chunks.
+BATCH_CHUNK_CYCLE = (97, 1, 256, 33, 1024)
+
 #: Replays are deterministic, so the sanity check reuses the parametrized
 #: tests' results instead of stepping every detector twice per session.
-_replay_cache: dict[str, list[int]] = {}
+_replay_cache: dict[tuple[str, str], list[int]] = {}
 
 
-def replay_detector(name: str, golden_input) -> list[int]:
-    """Feed the fixed input through a freshly built detector; return alarms."""
-    if name in _replay_cache:
-        return _replay_cache[name]
+def replay_detector(name: str, golden_input, mode: str = "instance") -> list[int]:
+    """Feed the fixed input through a freshly built detector; return alarms.
+
+    ``mode="instance"`` steps one prediction at a time; ``mode="batch"``
+    drives the same input through ``step_batch`` over the awkward chunk
+    cycle.  Chunk-exactness means both must yield identical alarms.
+    """
+    key = (name, mode)
+    if key in _replay_cache:
+        return _replay_cache[key]
     features, labels, predictions, _ = golden_input
     detector = build_detector(name, features.shape[1], N_CLASSES)
     detector.warm_start(features[:WARMUP], labels[:WARMUP])
     alarms: list[int] = []
-    for i in range(WARMUP, N_INSTANCES):
-        if detector.step(features[i], int(labels[i]), int(predictions[i])):
-            alarms.append(i)
-    _replay_cache[name] = alarms
+    if mode == "instance":
+        for i in range(WARMUP, N_INSTANCES):
+            if detector.step(features[i], int(labels[i]), int(predictions[i])):
+                alarms.append(i)
+    else:
+        start = WARMUP
+        cycle = 0
+        while start < N_INSTANCES:
+            size = BATCH_CHUNK_CYCLE[cycle % len(BATCH_CHUNK_CYCLE)]
+            cycle += 1
+            stop = min(start + size, N_INSTANCES)
+            flags = detector.step_batch(
+                features[start:stop], labels[start:stop], predictions[start:stop]
+            )
+            alarms.extend((start + np.flatnonzero(flags)).tolist())
+            start = stop
+    _replay_cache[key] = alarms
     return alarms
 
 
@@ -113,13 +144,26 @@ def _first_divergence(expected: list[int], actual: list[int]) -> int:
     return min(len(expected), len(actual))
 
 
+@pytest.mark.parametrize("mode", ["instance", "batch"])
 @pytest.mark.parametrize("name", DETECTORS)
-def test_detector_matches_golden(name: str, golden_input, request) -> None:
-    actual = replay_detector(name, golden_input)
+def test_detector_matches_golden(name: str, mode: str, golden_input, request) -> None:
+    actual = replay_detector(name, golden_input, mode)
     meta = golden_input[3]
     path = golden_path(name)
 
     if request.config.getoption("--regen-golden"):
+        other_mode = "batch" if mode == "instance" else "instance"
+        other = replay_detector(name, golden_input, other_mode)
+        if actual != other:
+            divergence = _first_divergence(actual, other)
+            pytest.fail(
+                f"REFUSING to regenerate golden for {name!r}: instance and "
+                f"batch mode disagree (chunk-exactness is broken).\n"
+                f"  {mode} mode: {len(actual)} detections {actual}\n"
+                f"  {other_mode} mode: {len(other)} detections {other}\n"
+                f"  first divergence at alarm #{divergence}.\n"
+                f"Fix the detector's step_batch kernel before regenerating."
+            )
         path.write_text(
             json.dumps(
                 {"detector": name, "input": meta, "detections": actual},
@@ -145,7 +189,7 @@ def test_detector_matches_golden(name: str, golden_input, request) -> None:
     if actual != expected:
         divergence = _first_divergence(expected, actual)
         pytest.fail(
-            f"seeded detections of {name!r} changed.\n"
+            f"seeded detections of {name!r} changed (in {mode} mode).\n"
             f"  expected {len(expected)} detections: {expected}\n"
             f"  actual   {len(actual)} detections: {actual}\n"
             f"  first divergence at alarm #{divergence}: "

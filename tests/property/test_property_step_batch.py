@@ -1,0 +1,112 @@
+"""Property test: ``step_batch`` is chunk-exact for every registry detector.
+
+For random error/probability sequences and *any* split of the stream into
+chunks (including size-1 and size-``n`` chunks), the positions flagged by
+``step_batch`` — and the recorded detections, blamed classes, observation
+count, and final drift/warning state — must be identical to stepping the
+same stream one instance at a time.  This is the contract the batch
+prequential mode and the golden harness rely on; Hypothesis hunts for
+chunkings and error patterns that break a kernel's segment bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.registry import DETECTOR_NAMES, build_detector
+
+N_CLASSES = 4
+N_FEATURES = 5
+DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
+#: RBM-IM trains an RBM per mini-batch, so its property run uses fewer and
+#: shorter examples than the cheap error-stream kernels.
+MAX_EXAMPLES = {"RBM-IM": 10}
+
+
+@st.composite
+def error_streams(draw):
+    """A piecewise-Bernoulli error stream plus a chunking of its length."""
+    n = draw(st.integers(min_value=1, max_value=500))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    # Piecewise-constant error probabilities create drift-like jumps.
+    n_pieces = draw(st.integers(min_value=1, max_value=4))
+    probabilities = [
+        draw(st.floats(min_value=0.0, max_value=0.9)) for _ in range(n_pieces)
+    ]
+    chunking = draw(
+        st.one_of(
+            st.just([1] * n),  # size-1 chunks
+            st.just([n]),  # one size-n chunk
+            st.lists(st.integers(min_value=1, max_value=n), min_size=1),
+        )
+    )
+    return n, seed, probabilities, chunking
+
+
+def _materialise(n, seed, probabilities, chunking):
+    rng = np.random.default_rng(seed)
+    piece = (n + len(probabilities) - 1) // len(probabilities)
+    error_probability = np.repeat(probabilities, piece)[:n]
+    features = rng.random((n, N_FEATURES))
+    labels = rng.integers(0, N_CLASSES, n)
+    is_error = rng.random(n) < error_probability
+    offsets = rng.integers(1, N_CLASSES, n)
+    predictions = np.where(is_error, (labels + offsets) % N_CLASSES, labels)
+
+    sizes = []
+    remaining = n
+    for size in chunking:
+        take = min(size, remaining)
+        if take <= 0:
+            break
+        sizes.append(take)
+        remaining -= take
+    if remaining:
+        sizes.append(remaining)
+    return features, labels.astype(np.int64), predictions.astype(np.int64), sizes
+
+
+def _assert_chunk_exact(name, features, labels, predictions, sizes):
+    n = labels.shape[0]
+    loop_detector = build_detector(name, N_FEATURES, N_CLASSES)
+    batch_detector = build_detector(name, N_FEATURES, N_CLASSES)
+
+    loop_flags = np.array(
+        [
+            loop_detector.step(features[i], int(labels[i]), int(predictions[i]))
+            for i in range(n)
+        ],
+        dtype=bool,
+    )
+    batch_flags = []
+    start = 0
+    for size in sizes:
+        batch_flags.append(
+            batch_detector.step_batch(
+                features[start : start + size],
+                labels[start : start + size],
+                predictions[start : start + size],
+            )
+        )
+        start += size
+
+    np.testing.assert_array_equal(loop_flags, np.concatenate(batch_flags))
+    assert loop_detector.detections == batch_detector.detections
+    assert loop_detector.detection_classes == batch_detector.detection_classes
+    assert loop_detector.n_observations == batch_detector.n_observations
+    assert loop_detector.in_drift == batch_detector.in_drift
+    assert loop_detector.in_warning == batch_detector.in_warning
+    assert loop_detector.drifted_classes == batch_detector.drifted_classes
+
+
+@pytest.mark.parametrize("name", DETECTORS)
+def test_step_batch_matches_step_loop(name: str):
+    @settings(max_examples=MAX_EXAMPLES.get(name, 25), deadline=None)
+    @given(stream=error_streams())
+    def run(stream):
+        _assert_chunk_exact(name, *_materialise(*stream))
+
+    run()
