@@ -10,10 +10,14 @@ the three execution modes of :class:`PrequentialRunner`:
 * ``batch`` — chunk-granular test-then-train over the batch APIs, driving
   every detector's NumPy-native ``step_batch`` kernel.
 
-Two workload families are measured: the RBM-IM reference path of the earlier
-baselines, and the full *detector zoo* — every detector in the registry on
-the same stream/classifier, instance vs batch mode, with the aggregate
-speedup across the zoo as the headline number.
+Three workload families are measured: the RBM-IM reference path of the
+earlier baselines, the full *detector zoo* — every detector in the registry
+on the same stream/classifier, instance vs batch mode, with the aggregate
+speedup across the zoo as the headline number — and raw generation
+throughput of a *schedule-composed scenario stream* (the
+:mod:`repro.streams.schedule` engine driving concept transitions, local
+drift, imbalance, label noise, and feature drift at once), batch fetch vs
+per-instance iteration.
 
 Run as a pytest harness (``PYTHONPATH=src python -m pytest
 benchmarks/test_bench_throughput.py``) for a scaled-down regression check, as
@@ -37,7 +41,9 @@ from repro.classifiers import GaussianNaiveBayes
 from repro.core.detector import RBMIM, RBMIMConfig
 from repro.evaluation.prequential import PrequentialRunner
 from repro.protocol.registry import DETECTOR_NAMES, build_detector
-from repro.streams.generators import SEAGenerator
+from repro.streams.generators import RandomRBFGenerator, SEAGenerator
+from repro.streams.imbalance import DynamicImbalance
+from repro.streams.schedule import Schedule, ScheduledStream, Segment
 
 #: Conservative CI floor: the recorded baseline shows >= 5x on an idle
 #: machine; shared runners are noisy, so the regression gate is looser.
@@ -46,6 +52,12 @@ MIN_SPEEDUP = 2.5
 #: Floor for the aggregate batch-vs-instance speedup across the detector zoo
 #: (recorded baseline >= 3x; same noise allowance as above).
 MIN_ZOO_AGGREGATE_SPEEDUP = 2.0
+
+#: Floor for batch-vs-instance generation throughput of a schedule-composed
+#: scenario stream.  The recorded baseline shows >= 10x, so even on noisy CI
+#: runners the batch path must stay at least 5x ahead — below that, the
+#: scenario engine's vectorized path has regressed.
+MIN_SCHEDULE_STREAM_SPEEDUP = 5.0
 
 #: Every registry detector (the paper's zoo); "none" is the detector-less
 #: baseline and measures only classifier/stream overhead.
@@ -156,6 +168,74 @@ def measure_detector_zoo(
     }
 
 
+def _schedule_composed_stream(seed: int = 3) -> ScheduledStream:
+    """A scenario stream exercising every axis of the schedule engine."""
+
+    def factory(concept: int) -> RandomRBFGenerator:
+        return RandomRBFGenerator(
+            n_classes=5, n_features=20, concept=concept, seed=seed
+        )
+
+    schedule = Schedule.of(
+        Segment(length=5_000, concept=0),
+        Segment(length=5_000, concept=1, transition="gradual", width=1_000),
+        Segment(length=5_000, concept=2, drifted_classes=(3, 4)),
+        Segment(
+            length=5_000,
+            concept=3,
+            label_noise=0.05,
+            feature_shift=0.2,
+            width=500,
+        ),
+    )
+    return ScheduledStream(
+        factory,
+        schedule,
+        imbalance=DynamicImbalance(5, 2.0, 50.0, period=10_000),
+        seed=seed + 1,
+    )
+
+
+def measure_schedule_stream(
+    n_instances: int, repeats: int = 2, chunk_size: int = 1_024
+) -> dict:
+    """Generation throughput of the schedule engine: batch vs instance mode."""
+    best_time = {"instance": math.inf, "batch": math.inf}
+    for _ in range(repeats):
+        stream = _schedule_composed_stream()
+        started = time.perf_counter()
+        for _ in range(n_instances):
+            stream.next_instance()
+        best_time["instance"] = min(
+            best_time["instance"], time.perf_counter() - started
+        )
+        stream = _schedule_composed_stream()
+        produced = 0
+        started = time.perf_counter()
+        while produced < n_instances:
+            produced += stream.generate_batch(
+                min(chunk_size, n_instances - produced)
+            )[1].shape[0]
+        best_time["batch"] = min(best_time["batch"], time.perf_counter() - started)
+    return {
+        "description": (
+            "Raw generation throughput of a schedule-composed scenario "
+            "stream (4 segments: sudden + gradual + local drift + label "
+            "noise/feature drift, dynamic imbalance), batch fetch vs "
+            "per-instance iteration; best of N repeats."
+        ),
+        "n_instances": n_instances,
+        "chunk_size": chunk_size,
+        "instances_per_sec": {
+            mode: round(n_instances / elapsed, 1)
+            for mode, elapsed in best_time.items()
+        },
+        "speedup_batch_vs_instance": round(
+            best_time["instance"] / best_time["batch"], 2
+        ),
+    }
+
+
 def run_benchmark(n_instances: int, repeats: int = 3) -> dict:
     results: dict = {
         "description": (
@@ -221,6 +301,18 @@ class TestDetectorZoo:
         )
 
 
+class TestScheduleStream:
+    def test_schedule_stream_batch_generation_speedup(self):
+        n_instances = stream_length(6_000, 20_000)
+        results = measure_schedule_stream(n_instances=n_instances, repeats=2)
+        speedup = results["speedup_batch_vs_instance"]
+        assert speedup >= MIN_SCHEDULE_STREAM_SPEEDUP, (
+            f"schedule-composed stream batch generation only {speedup:.2f}x "
+            f"faster than instance mode (floor "
+            f"{MIN_SCHEDULE_STREAM_SPEEDUP}x; recorded baseline shows >= 10x)"
+        )
+
+
 def main(smoke: bool = False) -> None:
     if smoke:
         # CI harness check: tiny streams, full detector zoo, no recording.
@@ -229,10 +321,27 @@ def main(smoke: bool = False) -> None:
         missing = set(ZOO_DETECTORS) - set(results["per_detector"])
         if missing:
             raise SystemExit(f"zoo benchmark skipped detectors: {sorted(missing)}")
-        print("\nsmoke OK: all detectors measured in both modes")
+        # Schedule-composed scenario stream: the batch path must hold the 5x
+        # floor over instance mode or the scenario engine has regressed.
+        schedule_results = measure_schedule_stream(n_instances=6_000, repeats=2)
+        print(json.dumps(schedule_results, indent=2))
+        speedup = schedule_results["speedup_batch_vs_instance"]
+        if speedup < MIN_SCHEDULE_STREAM_SPEEDUP:
+            raise SystemExit(
+                f"schedule-composed stream batch generation only "
+                f"{speedup:.2f}x faster than instance mode "
+                f"(floor {MIN_SCHEDULE_STREAM_SPEEDUP}x)"
+            )
+        print(
+            "\nsmoke OK: all detectors measured in both modes; "
+            f"schedule stream batch {speedup:.1f}x instance mode"
+        )
         return
     results = run_benchmark(n_instances=30_000, repeats=3)
     results["detector_zoo"] = measure_detector_zoo(n_instances=20_000, repeats=2)
+    results["schedule_stream"] = measure_schedule_stream(
+        n_instances=20_000, repeats=2
+    )
     path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
     path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(results, indent=2))

@@ -10,9 +10,10 @@ Three subcommands drive the reproduction:
   Friedman / Bonferroni-Dunn / Bayesian summaries.
 
 The spec comes either from a JSON file (``--spec``) or a built-in preset
-(``--preset paper`` / ``--preset quick``); ``spec`` files are produced with
-``python -m repro.protocol spec --preset paper > my_spec.json`` and edited
-freely.
+(``--preset paper`` / ``--preset quick`` / ``--preset extended`` — all nine
+scenario families — / ``--preset stress`` — the adversarial stressors);
+``spec`` files are produced with ``python -m repro.protocol spec --preset
+paper > my_spec.json`` and edited freely.
 """
 
 from __future__ import annotations
@@ -29,6 +30,8 @@ from repro.protocol.store import ResultsStore
 _PRESETS = {
     "paper": ProtocolSpec.paper,
     "quick": ProtocolSpec.quick,
+    "extended": ProtocolSpec.extended,
+    "stress": ProtocolSpec.stress,
 }
 
 

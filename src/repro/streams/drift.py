@@ -32,9 +32,33 @@ __all__ = [
     "RecurringDriftStream",
     "LocalDriftStream",
     "sample_instance_of_class",
+    "try_sample_instance_of_class",
 ]
 
 _MAX_REJECTION_TRIES = 5_000
+
+
+def try_sample_instance_of_class(
+    stream: DataStream, label: int, max_tries: int = _MAX_REJECTION_TRIES
+) -> Instance | None:
+    """Rejection-sample an instance of class ``label``; ``None`` on failure.
+
+    Failure means the class was not observed within ``max_tries`` draws (the
+    generator may never produce it under the current concept) or the stream
+    ran out.  Callers that need the stream to keep flowing — e.g. a local
+    drift under extreme imbalance — pair this with a deterministic fallback
+    instance instead of aborting the run; the draw budget consumed from
+    ``stream`` is identical whether the sample succeeds or not at a given
+    try, so batch and per-instance paths stay aligned.
+    """
+    for _ in range(max_tries):
+        try:
+            instance = stream.next_instance()
+        except StopIteration:
+            return None
+        if instance.y == label:
+            return instance
+    return None
 
 
 def sample_instance_of_class(
@@ -46,16 +70,16 @@ def sample_instance_of_class(
     ------
     RuntimeError
         If the class was not observed within ``max_tries`` draws (e.g. the
-        generator never produces it under the current concept).
+        generator never produces it under the current concept).  Use
+        :func:`try_sample_instance_of_class` when a fallback is available.
     """
-    for _ in range(max_tries):
-        instance = stream.next_instance()
-        if instance.y == label:
-            return instance
-    raise RuntimeError(
-        f"could not sample an instance of class {label} from stream "
-        f"'{stream.name}' within {max_tries} draws"
-    )
+    instance = try_sample_instance_of_class(stream, label, max_tries)
+    if instance is None:
+        raise RuntimeError(
+            f"could not sample an instance of class {label} from stream "
+            f"'{stream.name}' within {max_tries} draws"
+        )
+    return instance
 
 
 class DriftingStream(DataStream):
@@ -356,8 +380,16 @@ class RecurringDriftStream(DriftingStream):
 
     @property
     def drift_points(self) -> list[int]:
-        emitted = self._position
-        return [p for p in range(self._period, emitted + 1, self._period)]
+        """Cycle boundaries whose first new-concept instance was emitted.
+
+        A boundary at ``b`` means the instance at index ``b`` is the first of
+        the next concept; it belongs to the ground truth only once that
+        instance has actually been emitted (``b < position``, strictly).  The
+        set is derived from :attr:`position` alone, so it is bit-identical
+        between per-instance iteration and any chunking of ``generate_batch``
+        — including chunks that cross a cycle boundary mid-batch.
+        """
+        return list(range(self._period, self._position, self._period))
 
     def restart(self) -> None:
         super().restart()
@@ -473,12 +505,12 @@ class LocalDriftStream(DriftingStream):
         probability = self._new_concept_probability(self._position)
         if probability <= 0.0 or self._rng.random() >= probability:
             return anchor
-        try:
-            return sample_instance_of_class(self._new, label)
-        except RuntimeError:
-            # The new concept may not produce this class at all (extreme
-            # cases); fall back to the old-concept instance rather than hang.
-            return anchor
+        replacement = try_sample_instance_of_class(self._new, label)
+        # The new concept may not produce this class at all (extreme cases,
+        # e.g. the smallest class at IR~100); deterministically reuse the
+        # old-concept instance rather than abort the run — the identical
+        # fallback the batch path takes.
+        return anchor if replacement is None else replacement
 
     def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         features, labels = self._old.generate_batch(n)
@@ -489,9 +521,10 @@ class LocalDriftStream(DriftingStream):
             probability = self._new_concept_probability(int(positions[i]))
             if probability <= 0.0 or self._rng.random() >= probability:
                 continue
-            try:
-                replacement = sample_instance_of_class(self._new, int(labels[i]))
-            except RuntimeError:
+            replacement = try_sample_instance_of_class(self._new, int(labels[i]))
+            if replacement is None:
+                # Same deterministic fallback as the scalar path: keep the
+                # old-concept row.
                 continue
             features[i] = replacement.x
         return features, labels

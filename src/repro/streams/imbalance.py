@@ -15,12 +15,15 @@ majority and vice versa).  This module provides:
 from __future__ import annotations
 
 import abc
-from collections import deque
-from typing import Deque
 
 import numpy as np
 
-from repro.streams.base import DataStream, Instance, StreamSchema
+from repro.streams.base import DataStream, StreamSchema
+from repro.streams.sampling import (
+    ClassConditionalSampler,
+    UniformReplayBuffer,
+    inverse_cdf_classes,
+)
 
 __all__ = [
     "ImbalanceProfile",
@@ -29,6 +32,7 @@ __all__ = [
     "RoleSwitchingImbalance",
     "ImbalancedStream",
     "geometric_priors",
+    "geometric_priors_batch",
 ]
 
 _MAX_BUFFER_FILL_DRAWS = 20_000
@@ -44,9 +48,28 @@ def geometric_priors(n_classes: int, imbalance_ratio: float) -> np.ndarray:
         raise ValueError("n_classes must be >= 2")
     if imbalance_ratio < 1.0:
         raise ValueError("imbalance_ratio must be >= 1")
-    decay = imbalance_ratio ** (-1.0 / (n_classes - 1))
+    # np.power (not the scalar `**`) so the result is bit-identical to the
+    # vectorized geometric_priors_batch, which uses the same ufunc loop.
+    decay = np.power(imbalance_ratio, -1.0 / (n_classes - 1))
     priors = decay ** np.arange(n_classes, dtype=np.float64)
     return priors / priors.sum()
+
+
+def geometric_priors_batch(n_classes: int, imbalance_ratios: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`geometric_priors`: one prior row per requested ratio.
+
+    Element-wise identical to stacking ``geometric_priors(n_classes, r)`` for
+    every ``r`` (same power and normalisation operations), so batch evaluation
+    of position-dependent profiles stays bit-compatible with the scalar path.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    ratios = np.asarray(imbalance_ratios, dtype=np.float64)
+    if np.any(ratios < 1.0):
+        raise ValueError("imbalance_ratio must be >= 1")
+    decay = ratios ** (-1.0 / (n_classes - 1))
+    priors = decay[..., None] ** np.arange(n_classes, dtype=np.float64)
+    return priors / priors.sum(axis=-1, keepdims=True)
 
 
 class ImbalanceProfile(abc.ABC):
@@ -65,6 +88,17 @@ class ImbalanceProfile(abc.ABC):
     def priors(self, position: int) -> np.ndarray:
         """Return the class priors in effect at ``position`` (sums to 1)."""
 
+    def priors_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Prior rows for many positions at once: shape ``(len(positions), k)``.
+
+        Must be element-wise identical to stacking :meth:`priors` per
+        position — the schedule engine relies on this to keep batch and
+        per-instance generation bit-identical.  The default loops; the
+        built-in profiles override it with vectorized implementations.
+        """
+        positions = np.asarray(positions)
+        return np.stack([self.priors(int(t)) for t in positions]) if positions.size else np.empty((0, self._n_classes))
+
     def imbalance_ratio(self, position: int) -> float:
         """Ratio between the largest and the smallest class prior."""
         priors = self.priors(position)
@@ -80,6 +114,11 @@ class StaticImbalance(ImbalanceProfile):
 
     def priors(self, position: int) -> np.ndarray:
         return self._priors.copy()
+
+    def priors_batch(self, positions: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(
+            self._priors, (np.asarray(positions).shape[0], self._n_classes)
+        ).copy()
 
 
 class DynamicImbalance(ImbalanceProfile):
@@ -117,6 +156,17 @@ class DynamicImbalance(ImbalanceProfile):
     def priors(self, position: int) -> np.ndarray:
         return geometric_priors(self.n_classes, self.current_ratio(position))
 
+    def priors_batch(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions)
+        if positions.size == 0:
+            return np.empty((0, self.n_classes))
+        # Same element-wise operations (and order) as the scalar path, so the
+        # rows are bit-identical to per-position `priors` calls.
+        angle = 2.0 * np.pi * positions / self._period + self._phase
+        blend = 0.5 * (1.0 - np.cos(angle))
+        ratios = self._min_ratio + blend * (self._max_ratio - self._min_ratio)
+        return geometric_priors_batch(self.n_classes, ratios)
+
 
 class RoleSwitchingImbalance(ImbalanceProfile):
     """Dynamic skew whose class roles rotate every ``switch_period`` instances.
@@ -148,6 +198,17 @@ class RoleSwitchingImbalance(ImbalanceProfile):
     def priors(self, position: int) -> np.ndarray:
         base = self._dynamic.priors(position)
         return np.roll(base, self.role_rotation(position))
+
+    def priors_batch(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions)
+        base = self._dynamic.priors_batch(positions)
+        if base.shape[0] == 0:
+            return base
+        rotations = (positions // self._switch_period) % self.n_classes
+        # Row-wise np.roll via a gather: rolled[i, j] = base[i, (j - r_i) % k].
+        columns = np.arange(self.n_classes)
+        gather = (columns[None, :] - rotations[:, None]) % self.n_classes
+        return np.take_along_axis(base, gather, axis=1)
 
 
 class ImbalancedStream(DataStream):
@@ -183,9 +244,21 @@ class ImbalancedStream(DataStream):
         super().__init__(schema, seed)
         self._base = base
         self._profile = profile
-        self._buffers: list[Deque[Instance]] = [
-            deque(maxlen=max_buffer_per_class) for _ in range(base.n_classes)
-        ]
+        # block_size=1 keeps the base stream's draw-on-demand RNG consumption
+        # (and therefore every seeded realization) identical to a hand-rolled
+        # per-instance rejection loop.
+        self._sampler = ClassConditionalSampler(
+            base,
+            base.n_classes,
+            max_buffer=max_buffer_per_class,
+            max_draws=_MAX_BUFFER_FILL_DRAWS,
+            block_size=1,
+        )
+        # Class-choice uniforms drawn for positions not yet emitted (a finite
+        # base exhausted mid-batch).  Replayed before fresh RNG draws so batch
+        # and per-instance reads consume the wrapper RNG identically no matter
+        # where the truncation fell.
+        self._uniforms = UniformReplayBuffer()
 
     @property
     def profile(self) -> ImbalanceProfile:
@@ -208,50 +281,32 @@ class ImbalancedStream(DataStream):
         if not hasattr(self._base, "set_concept"):
             raise TypeError("wrapped stream does not support set_concept")
         self._base.set_concept(concept)
-        for buffer in self._buffers:
-            buffer.clear()
+        self._sampler.clear_buffers()
 
     def restart(self) -> None:
         super().restart()
-        self._base.restart()
-        for buffer in self._buffers:
-            buffer.clear()
-
-    def _draw_from_base(self, wanted: int) -> Instance | None:
-        for _ in range(_MAX_BUFFER_FILL_DRAWS):
-            instance = self._base.next_instance()
-            if instance.y == wanted:
-                return instance
-            self._buffers[instance.y].append(instance)
-        return None
-
-    def _emit(self, wanted: int) -> Instance:
-        """Produce one instance of (ideally) class ``wanted``."""
-        if self._buffers[wanted]:
-            return self._buffers[wanted].pop()  # newest first: stay current
-        instance = self._draw_from_base(wanted)
-        if instance is not None:
-            return instance
-        # Fallback: emit from the fullest buffer to keep the stream flowing.
-        sizes = [len(buffer) for buffer in self._buffers]
-        best = int(np.argmax(sizes))
-        if sizes[best] == 0:
-            # Extremely degenerate base stream; emit whatever it produces.
-            return self._base.next_instance()
-        return self._buffers[best].pop()
+        self._sampler.restart()
+        self._uniforms.clear()
 
     def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         # One uniform per emitted instance, drawn as a block; the target class
         # comes from the inverse CDF of the position-dependent priors, so the
         # wrapper's RNG consumption is identical for any batch split.
-        u = self._rng.random(n)
+        u = self._uniforms.take(n, self._rng)
+        priors = self._profile.priors_batch(self._position + np.arange(n))
+        wanted = inverse_cdf_classes(priors, u)
         features = np.empty((n, self.n_features))
         labels = np.empty(n, dtype=np.int64)
         for i in range(n):
-            priors = self._profile.priors(self._position + i)
-            cdf = np.cumsum(priors)
-            wanted = min(int(np.searchsorted(cdf, u[i], side="right")), self.n_classes - 1)
-            instance = self._emit(wanted)
-            features[i] = instance.x
-            labels[i] = instance.y
+            try:
+                x, y = self._sampler.sample(int(wanted[i]))
+            except StopIteration:
+                # Base exhausted: emit the rows already produced and keep the
+                # undecided uniforms for replay so the exhausted position's
+                # class choice stays in force (terminal stream, exact parity
+                # with the per-instance path).
+                self._uniforms.stash(u[i:])
+                return features[:i], labels[:i]
+            features[i] = x
+            labels[i] = y
         return features, labels

@@ -11,11 +11,15 @@ runs on a laptop.
 
 The surrogate for each dataset is a RandomRBF-based stream (feature/label
 structure with localised class regions resembles most tabular sensor/activity
-data) wrapped in the appropriate drift schedule and a dynamic imbalance
-profile reaching the dataset's reported maximum IR.  What matters for the
-reproduction is that the surrogates exercise the identical code path and
-difficulty axes (many classes, heavy skew, drift or stationarity); absolute
-metric values differ from the paper, relative detector comparisons should not.
+data) executed by the schedule engine with the appropriate drift schedule and
+a dynamic imbalance profile reaching the dataset's reported maximum IR.  The
+engine places drifts at *emitted* stream positions, so the declared drift
+points are exact (the retired wrapper composition re-sampled on top of the
+drift schedule and let drifts surface earlier than declared).  What matters
+for the reproduction is that the surrogates exercise the identical code path
+and difficulty axes (many classes, heavy skew, drift or stationarity);
+absolute metric values differ from the paper, relative detector comparisons
+should not.
 """
 
 from __future__ import annotations
@@ -23,14 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.streams.base import DataStream
-from repro.streams.drift import ConceptScheduleStream
 from repro.streams.generators import RandomRBFGenerator
 from repro.streams.imbalance import (
     DynamicImbalance,
-    ImbalancedStream,
+    ImbalanceProfile,
     StaticImbalance,
 )
 from repro.streams.scenarios import ScenarioStream
+from repro.streams.schedule import Schedule, ScheduledStream, Segment
 
 __all__ = [
     "RealWorldSpec",
@@ -76,13 +80,13 @@ def real_world_names() -> list[str]:
     return [spec.name for spec in REAL_WORLD_SPECS]
 
 
-def _surrogate_generator(spec: RealWorldSpec, seed: int) -> DataStream:
+def _surrogate_generator(spec: RealWorldSpec, seed: int, concept: int) -> DataStream:
     n_centroids = max(spec.classes * 3, 30)
     return RandomRBFGenerator(
         n_classes=spec.classes,
         n_features=spec.features,
         n_centroids=n_centroids,
-        concept=0,
+        concept=concept,
         seed=seed,
         name=spec.name.lower(),
     )
@@ -116,20 +120,17 @@ def real_world_stream(
     if n_instances is None:
         n_instances = min(spec.instances, max_instances)
     dataset_seed = seed + abs(hash(spec.name)) % 10_000
-    generator = _surrogate_generator(spec, dataset_seed)
 
-    drift_points: list[int] = []
-    stream: DataStream
+    profile: ImbalanceProfile
     if spec.drift == "yes":
         # Three evenly spaced sudden drifts, mirroring a drifting real stream.
         spacing = n_instances // 4
-        drift_points = [spacing, 2 * spacing, 3 * spacing]
-        schedule = [(0, 0)] + [(pos, i + 1) for i, pos in enumerate(drift_points)]
-        stream = ConceptScheduleStream(generator, schedule, seed=dataset_seed + 1)
-    else:
-        stream = generator
-
-    if spec.drift == "yes":
+        schedule = Schedule.of(
+            Segment(length=spacing, concept=0),
+            Segment(length=spacing, concept=1),
+            Segment(length=spacing, concept=2),
+            Segment(length=max(1, n_instances - 3 * spacing), concept=3),
+        )
         profile = DynamicImbalance(
             n_classes=spec.classes,
             min_ratio=max(1.0, spec.imbalance_ratio / 4.0),
@@ -137,13 +138,20 @@ def real_world_stream(
             period=max(2, n_instances // 2),
         )
     else:
+        schedule = Schedule.of(Segment(length=n_instances, concept=0))
         profile = StaticImbalance(spec.classes, spec.imbalance_ratio)
-    imbalanced = ImbalancedStream(stream, profile, seed=dataset_seed + 2)
 
+    stream = ScheduledStream(
+        lambda concept: _surrogate_generator(spec, dataset_seed, concept),
+        schedule,
+        imbalance=profile,
+        seed=dataset_seed + 2,
+        name=spec.name.lower(),
+    )
     return ScenarioStream(
-        stream=imbalanced,
-        drift_points=drift_points,
-        drifted_classes=[None] * len(drift_points),
+        stream=stream,
+        drift_points=stream.drift_points,
+        drifted_classes=stream.drifted_classes,
         name=spec.name,
         n_instances=n_instances,
         profile=profile,
@@ -152,4 +160,5 @@ def real_world_stream(
             "table_i": spec,
             "seed": seed,
         },
+        events=stream.events,
     )

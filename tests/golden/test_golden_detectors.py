@@ -40,15 +40,19 @@ from repro.streams.scenarios import make_artificial_stream
 GOLDEN_DIR = Path(__file__).parent
 
 #: Frozen input parameters.  Changing ANY of these invalidates every golden
-#: file; bump only together with --regen-golden.
-STREAM_SEED = 1234
+#: file; bump only together with --regen-golden.  Chosen so that every
+#: detector except PerfSim fires at least once on this input (PerfSim's
+#: batch-wise performance-similarity test stays silent on uniformly-flipped
+#: synthetic errors at this scale) — an all-empty pin would be a vacuous
+#: regression guard.  Re-tuned for the schedule-engine stream realizations.
+STREAM_SEED = 99
 PREDICTION_SEED = 20260729
 N_INSTANCES = 4_000
 N_CLASSES = 5
 WARMUP = 200
 BASE_ERROR = 0.15
-DRIFT_ERROR = 0.45
-ERROR_RAMP = 400
+DRIFT_ERROR = 0.55
+ERROR_RAMP = 600
 
 DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
 

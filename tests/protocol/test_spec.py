@@ -26,7 +26,7 @@ class TestExpansion:
         assert [cell.detector for cell in spec.expand()] == ["DDM", "RBM-IM"]
 
     def test_benchmark_names_match_scenario_builders(self):
-        for scenario_id in (1, 2, 3):
+        for scenario_id in range(1, 10):
             built = build_scenario(
                 0,
                 family="rbf",
@@ -38,6 +38,30 @@ class TestExpansion:
             )
             assert isinstance(built, ScenarioStream)
             assert built.name == benchmark_name("rbf", 5, scenario_id)
+
+    def test_every_scenario_family_emits_ground_truth(self):
+        """Acceptance: all 9 families build, with exact per-family ground truth."""
+        for scenario_id in range(1, 10):
+            built = build_scenario(
+                0,
+                family="rbf",
+                n_classes=5,
+                scenario=scenario_id,
+                n_instances=600,
+                n_drifts=1,
+                max_imbalance_ratio=10.0,
+            )
+            assert len(built.drift_points) == len(built.drifted_classes)
+            if scenario_id == 9:
+                assert built.drift_points == []  # blips are not real drifts
+                assert built.metadata["blips"]
+            else:
+                assert built.drift_points, scenario_id
+            if scenario_id == 3:
+                assert built.drifted_classes == [[4]]
+            if scenario_id == 6:
+                # Smallest class arrives, majority class leaves.
+                assert built.drifted_classes == [[4], [0]]
 
     def test_stream_factory_is_picklable_and_seed_sensitive(self):
         import pickle
@@ -59,7 +83,11 @@ class TestValidation:
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="scenarios"):
-            ProtocolSpec(scenarios=(4,))
+            ProtocolSpec(scenarios=(12,))
+
+    def test_extended_scenarios_accepted(self):
+        spec = ProtocolSpec(scenarios=tuple(range(1, 10)), seeds=(0,))
+        assert len(spec.benchmarks()) == 4 * 3 * 9
 
     def test_unknown_detector_rejected(self):
         with pytest.raises(ValueError, match="unknown detector"):
@@ -75,11 +103,44 @@ class TestValidation:
                 0,
                 family="rbf",
                 n_classes=5,
-                scenario=9,
+                scenario=12,
                 n_instances=100,
                 n_drifts=1,
                 max_imbalance_ratio=10.0,
             )
+
+    def test_stringly_typed_scenario_id_keeps_n_drifts(self):
+        # A coerced id must hit the same n_drifts plumbing as the int id.
+        from_str = build_scenario(
+            0, family="rbf", n_classes=5, scenario="1",
+            n_instances=800, n_drifts=3, max_imbalance_ratio=10.0,
+        )
+        from_int = build_scenario(
+            0, family="rbf", n_classes=5, scenario=1,
+            n_instances=800, n_drifts=3, max_imbalance_ratio=10.0,
+        )
+        assert from_str.drift_points == from_int.drift_points
+        assert len(from_str.drift_points) == 3
+
+
+class TestPresets:
+    def test_extended_preset_lists_all_nine_scenarios(self):
+        spec = ProtocolSpec.extended()
+        assert spec.scenarios == tuple(range(1, 10))
+        assert spec.name == "extended"
+        # Every scenario family appears among the benchmark names.
+        names = spec.benchmarks()
+        for scenario_id in range(1, 10):
+            assert any(n.startswith(f"scenario{scenario_id}-") for n in names)
+
+    def test_stress_preset_targets_the_stressor_families(self):
+        spec = ProtocolSpec.stress()
+        assert set(spec.scenarios) == {5, 6, 7, 8, 9}
+        assert spec.max_imbalance_ratio == 200.0
+
+    def test_presets_round_trip_through_json(self):
+        for preset in (ProtocolSpec.extended(), ProtocolSpec.stress()):
+            assert ProtocolSpec.from_json(preset.to_json()) == preset
 
 
 class TestSerialisation:

@@ -38,9 +38,16 @@ from repro.streams.imbalance import (
 from repro.streams.real_world import real_world_stream
 from repro.streams.scenarios import (
     make_artificial_stream,
+    scenario_blip,
+    scenario_class_arrival,
+    scenario_feature_drift,
+    scenario_gradual_mixture,
+    scenario_label_noise,
     scenario_local_drift,
+    scenario_recurring_drift,
     scenario_role_switching,
 )
+from repro.streams.schedule import Schedule, ScheduledStream, Segment
 
 N_CHECK = 400
 SPLITS = (1, 5, 94, 300)  # sums to N_CHECK
@@ -133,6 +140,35 @@ WRAPPER_FACTORIES = {
     "scenario3": lambda seed: scenario_local_drift(
         "rbf", 5, n_instances=2_000, seed=seed
     ).stream,
+    "scenario4": lambda seed: scenario_recurring_drift(
+        "rbf", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "scenario5": lambda seed: scenario_gradual_mixture(
+        "randomtree", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "scenario6": lambda seed: scenario_class_arrival(
+        "rbf", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "scenario7": lambda seed: scenario_feature_drift(
+        "rbf", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "scenario8": lambda seed: scenario_label_noise(
+        "randomtree", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "scenario9": lambda seed: scenario_blip(
+        "rbf", 5, n_instances=2_000, seed=seed
+    ).stream,
+    "schedule-dsl": lambda seed: ScheduledStream(
+        lambda concept: _rbf(seed, concept),
+        Schedule.of(
+            Segment(length=90, concept=0, imbalance_ratio=10.0),
+            Segment(length=90, concept=1, transition="incremental", width=40),
+            Segment(length=90, concept=2, drifted_classes=(2, 3), label_noise=0.1),
+            Segment(length=90, feature_shift=0.3, width=30, rotation=2),
+            Segment(length=90, concept=0, active_classes=(0, 1, 3)),
+        ),
+        seed=seed + 1,
+    ),
     "real-world": lambda seed: real_world_stream(
         "Electricity", n_instances=2_000, seed=seed
     ).stream,

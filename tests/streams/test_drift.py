@@ -9,6 +9,7 @@ from repro.streams.drift import (
     LocalDriftStream,
     RecurringDriftStream,
     sample_instance_of_class,
+    try_sample_instance_of_class,
 )
 from repro.streams.generators import (
     MixedGenerator,
@@ -31,6 +32,16 @@ class TestSampleInstanceOfClass:
         # mismatch occurs; easier: request class 1 with max_tries=0-like small.
         with pytest.raises(RuntimeError):
             sample_instance_of_class(stream, 1, max_tries=0)
+
+    def test_try_variant_returns_none_instead_of_raising(self):
+        stream = SEAGenerator(n_classes=2, concept=0, noise=0.0, seed=0)
+        assert try_sample_instance_of_class(stream, 1, max_tries=0) is None
+
+    def test_try_variant_survives_exhausted_stream(self):
+        from repro.streams.base import Instance, ListStream
+
+        stream = ListStream([Instance(x=np.zeros(2), y=0)] * 3)
+        assert try_sample_instance_of_class(stream, 1, max_tries=100) is None
 
 
 class TestConceptDriftStream:
@@ -137,6 +148,35 @@ class TestRecurringDriftStream:
         stream.take(350)
         assert stream.drift_points == [100, 200, 300]
 
+    def test_drift_point_reported_only_after_drifted_instance_emitted(self):
+        # Regression (ground-truth off-by-one): the boundary at `period` used
+        # to be reported once `period` instances were emitted, although the
+        # first new-concept instance (index == period) had not been.
+        generator = RandomTreeGenerator(n_classes=3, n_features=4, seed=2)
+        stream = RecurringDriftStream(generator, concepts=[0, 1], period=100)
+        stream.take(100)
+        assert stream.drift_points == []
+        stream.take(1)  # index 100: first instance of the new cycle
+        assert stream.drift_points == [100]
+
+    @pytest.mark.parametrize("chunking", [[37, 80, 1, 113, 119], [350], [1] * 350])
+    def test_ground_truth_parity_across_chunkings(self, chunking):
+        # Chunks crossing a cycle boundary mid-batch must record exactly the
+        # drift points per-instance iteration records at the same position.
+        def make():
+            generator = RandomTreeGenerator(n_classes=3, n_features=4, seed=2)
+            return RecurringDriftStream(generator, concepts=[0, 1, 2], period=110)
+
+        instance_stream, batch_stream = make(), make()
+        consumed = 0
+        for size in chunking:
+            batch_x, batch_y = batch_stream.generate_batch(size)
+            for _ in range(size):
+                instance_stream.next_instance()
+            consumed += size
+            assert batch_stream.position == instance_stream.position == consumed
+            assert batch_stream.drift_points == instance_stream.drift_points
+
     def test_invalid_period(self):
         generator = RandomTreeGenerator(seed=2)
         with pytest.raises(ValueError):
@@ -212,3 +252,43 @@ class TestLocalDriftStream:
         for inst, ref in zip(stream.take(50), reference.take(50)):
             np.testing.assert_array_equal(inst.x, ref.x)
             assert inst.y == ref.y
+
+    def test_unreachable_class_falls_back_without_aborting(self):
+        # Regression: when the new concept cannot produce the drifted class
+        # the rejection sampler used to dead-end in a RuntimeError path; both
+        # paths must now deterministically keep the old-concept instance and
+        # stay bit-identical.
+        from repro.streams.base import Instance, ListStream, StreamSchema
+
+        def factory(concept: int):
+            if concept == 0:
+                return RandomRBFGenerator(
+                    n_classes=4, n_features=6, n_centroids=8, concept=0, seed=11
+                )
+            # "New concept" that only ever emits class 0, then runs dry: the
+            # drifted classes can never be re-sampled from it.
+            return ListStream(
+                [Instance(x=np.zeros(6), y=0)] * 30,
+                schema=StreamSchema(n_features=6, n_classes=4),
+            )
+
+        def make():
+            return LocalDriftStream(
+                generator_factory=factory,
+                old_concept=0,
+                new_concept=1,
+                drifted_classes=[2, 3],
+                position=5,
+                seed=3,
+            )
+
+        instance_stream, batch_stream = make(), make()
+        instances = instance_stream.take(120)
+        inst_x = np.vstack([i.x for i in instances])
+        inst_y = np.asarray([i.y for i in instances])
+        batch_x, batch_y = batch_stream.generate_batch(120)
+        assert batch_y.shape[0] == 120  # the stream never aborts mid-run
+        np.testing.assert_array_equal(batch_x, inst_x)
+        np.testing.assert_array_equal(batch_y, inst_y)
+        # Drifted-class rows kept their old-concept features (non-zero).
+        assert np.all(np.abs(batch_x[np.isin(batch_y, [2, 3])]).sum(axis=1) > 0)

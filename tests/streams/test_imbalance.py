@@ -10,6 +10,7 @@ from repro.streams.imbalance import (
     RoleSwitchingImbalance,
     StaticImbalance,
     geometric_priors,
+    geometric_priors_batch,
 )
 
 
@@ -96,6 +97,46 @@ class TestRoleSwitchingImbalance:
             RoleSwitchingImbalance(3, 1.0, 5.0, period=10, switch_period=0)
 
 
+class TestBatchPriorEvaluation:
+    """The vectorized profile path must be bit-identical to the scalar one.
+
+    The schedule engine and the imbalance wrapper both evaluate profiles in
+    batch; a single ULP of divergence from the scalar path could flip an
+    inverse-CDF class choice and silently break batch/instance parity.
+    """
+
+    PROFILES = {
+        "static": StaticImbalance(5, 40.0),
+        "dynamic": DynamicImbalance(5, 2.0, 100.0, period=777, phase=0.3),
+        "dynamic-flat": DynamicImbalance(3, 1.0, 500.0, period=10),
+        "roles": RoleSwitchingImbalance(6, 3.0, 60.0, period=500, switch_period=123),
+    }
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_priors_batch_bitwise_matches_scalar(self, name):
+        profile = self.PROFILES[name]
+        positions = np.arange(0, 10_000, 7)
+        batch = profile.priors_batch(positions)
+        scalar = np.stack([profile.priors(int(t)) for t in positions])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_priors_batch_empty_positions(self):
+        batch = StaticImbalance(4, 10.0).priors_batch(np.empty(0, dtype=np.int64))
+        assert batch.shape == (0, 4)
+
+    def test_geometric_priors_batch_matches_scalar(self):
+        ratios = np.linspace(1.0, 300.0, 101)
+        batch = geometric_priors_batch(6, ratios)
+        scalar = np.stack([geometric_priors(6, float(r)) for r in ratios])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_geometric_priors_batch_validation(self):
+        with pytest.raises(ValueError):
+            geometric_priors_batch(1, np.array([2.0]))
+        with pytest.raises(ValueError):
+            geometric_priors_batch(3, np.array([0.5]))
+
+
 class TestImbalancedStream:
     def _base(self, seed=0):
         return RandomRBFGenerator(n_classes=4, n_features=5, n_centroids=8, seed=seed)
@@ -134,6 +175,66 @@ class TestImbalancedStream:
         drifting = ConceptScheduleStream(generator, [(0, 0), (500, 1)])
         stream = ImbalancedStream(drifting, StaticImbalance(4, 10.0), seed=0)
         assert stream.drift_points == [500]
+
+    def test_finite_base_exhaustion_is_chunk_exact_and_terminal(self):
+        # Regression: a finite base exhausting mid-batch used to let
+        # StopIteration escape generate_batch, and fresh uniforms were drawn
+        # for positions whose class choice had already been decided — so the
+        # batch path diverged from per-instance iteration at the truncation.
+        from repro.streams.base import Instance, ListStream
+
+        def make():
+            rng = np.random.default_rng(7)
+            base = ListStream(
+                [
+                    Instance(x=rng.random(3), y=int(rng.integers(3)))
+                    for _ in range(60)
+                ]
+            )
+            return ImbalancedStream(base, StaticImbalance(3, 8.0), seed=5)
+
+        instance_stream = make()
+        instances = instance_stream.take(1_000)
+        inst_x = np.vstack([i.x for i in instances])
+        inst_y = np.asarray([i.y for i in instances])
+
+        batch_stream = make()
+        chunks = []
+        while True:
+            features, labels = batch_stream.generate_batch(7)
+            if labels.shape[0] == 0:
+                break
+            chunks.append((features, labels))
+        batch_x = np.vstack([f for f, _ in chunks])
+        batch_y = np.concatenate([y for _, y in chunks])
+
+        assert batch_x.shape == inst_x.shape
+        np.testing.assert_array_equal(batch_x, inst_x)
+        np.testing.assert_array_equal(batch_y, inst_y)
+        # Terminal afterwards for both reading paths.
+        assert batch_stream.generate_batch(4)[1].shape[0] == 0
+        assert batch_stream.take(4) == []
+
+    def test_profile_position_identical_for_empty_and_tiny_chunks(self):
+        # The profile must be evaluated at the same emitted position whatever
+        # mix of empty, size-1, and larger chunks got the stream there.
+        def make():
+            return ImbalancedStream(
+                self._base(),
+                DynamicImbalance(4, 2.0, 40.0, period=50),
+                seed=9,
+            )
+
+        reference = make()
+        ref_x, ref_y = reference.generate_batch(60)
+        chunked = make()
+        parts = []
+        for size in (0, 1, 0, 13, 1, 0, 45):
+            parts.append(chunked.generate_batch(size))
+        chunk_x = np.vstack([p[0] for p in parts])
+        chunk_y = np.concatenate([p[1] for p in parts])
+        np.testing.assert_array_equal(ref_x, chunk_x)
+        np.testing.assert_array_equal(ref_y, chunk_y)
 
     def test_role_switching_profile_changes_majority(self):
         profile = RoleSwitchingImbalance(
