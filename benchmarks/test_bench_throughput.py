@@ -5,8 +5,9 @@ classifier test -> detector step -> classifier train -> windowed metrics) in
 the three execution modes of :class:`PrequentialRunner`:
 
 * ``instance`` — the classic one-``Instance``-at-a-time loop (baseline);
-* ``chunk-exact`` — vectorized stream fetch, per-instance models
-  (bit-identical results);
+* ``chunk-exact`` — bit-identical results at chunk speed: vectorized stream
+  fetch, the classifier's ``predict_fit_interleaved`` kernel, the detector's
+  chunk-exact ``step_batch``, and batched metric folds;
 * ``batch`` — chunk-granular test-then-train over the batch APIs, driving
   every detector's NumPy-native ``step_batch`` kernel.
 
@@ -25,13 +26,19 @@ a script (``PYTHONPATH=src python benchmarks/test_bench_throughput.py``) to
 record the full measurement into ``BENCH_throughput.json`` at the repository
 root — the perf trajectory future changes are compared against — or with
 ``--smoke`` (used by CI) for a seconds-long run that exercises the whole
-harness without touching the recorded trajectory.
+harness, gates the RBM-IM batch (>= 15x) and chunk-exact (>= 3x) speedups,
+and prints a regression diff against the recorded trajectory without
+touching it.  ``--profile`` reruns the slowest measured workload under
+cProfile and dumps the pstats breakdown (CI uploads it as an artifact).
 """
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import math
+import pstats
 import time
 from pathlib import Path
 
@@ -45,13 +52,24 @@ from repro.streams.generators import RandomRBFGenerator, SEAGenerator
 from repro.streams.imbalance import DynamicImbalance
 from repro.streams.schedule import Schedule, ScheduledStream, Segment
 
-#: Conservative CI floor: the recorded baseline shows >= 5x on an idle
+#: Conservative pytest floor: the recorded baseline shows >= 15x on an idle
 #: machine; shared runners are noisy, so the regression gate is looser.
-MIN_SPEEDUP = 2.5
+MIN_SPEEDUP = 6.0
+
+#: Pytest floor for the chunk-exact (bit-identical) mode: the recorded
+#: baseline shows >= 5x, and anything under 2x means the optimistic chunked
+#: runner has regressed towards the scalar loop.
+MIN_EXACT_SPEEDUP = 2.0
 
 #: Floor for the aggregate batch-vs-instance speedup across the detector zoo
 #: (recorded baseline >= 3x; same noise allowance as above).
 MIN_ZOO_AGGREGATE_SPEEDUP = 2.0
+
+#: Hard bench-smoke gates on the RBM-IM reference workloads (best-of-repeats
+#: partially compensates for runner noise; the recorded idle-machine numbers
+#: sit comfortably above both).
+SMOKE_MIN_RBMIM_BATCH_SPEEDUP = 15.0
+SMOKE_MIN_EXACT_SPEEDUP = 3.0
 
 #: Floor for batch-vs-instance generation throughput of a schedule-composed
 #: scenario stream.  The recorded baseline shows >= 10x, so even on noisy CI
@@ -91,10 +109,12 @@ def measure_throughput(
     runner = PrequentialRunner(
         _nb_factory, pretrain_size=200, snapshot_every=2_500
     )
-    throughput: dict[str, float] = {}
-    for mode, kwargs in MODES.items():
-        best = 0.0
-        for _ in range(repeats):
+    # Modes are interleaved within each repeat (not run back-to-back per
+    # mode) so a drift in machine load hits every mode alike instead of
+    # biasing the speedup ratios; best-of-repeats then absorbs the noise.
+    throughput: dict[str, float] = {mode: 0.0 for mode in MODES}
+    for _ in range(repeats):
+        for mode, kwargs in MODES.items():
             stream = SEAGenerator(
                 n_classes=n_classes, n_features=n_features, seed=1
             )
@@ -104,8 +124,7 @@ def measure_throughput(
             started = time.perf_counter()
             runner.run(stream, detector, n_instances=n_instances, **kwargs)
             elapsed = time.perf_counter() - started
-            best = max(best, n_instances / elapsed)
-        throughput[mode] = best
+            throughput[mode] = max(throughput[mode], n_instances / elapsed)
     return throughput
 
 
@@ -126,24 +145,30 @@ def measure_detector_zoo(
     n_classes = ZOO_STREAM_SHAPE["n_classes"]
     n_features = ZOO_STREAM_SHAPE["n_features"]
     per_detector: dict[str, dict] = {}
-    total_time = {"instance": 0.0, "batch": 0.0}
+    total_time = {"instance": 0.0, "chunk-exact": 0.0, "batch": 0.0}
+    zoo_modes = (
+        ("instance", {}),
+        ("chunk-exact", dict(chunk_size=1024)),
+        ("batch", dict(chunk_size=1024, batch_mode=True)),
+    )
     for name in detectors:
-        throughput: dict[str, float] = {}
-        for mode, kwargs in (
-            ("instance", {}),
-            ("batch", dict(chunk_size=1024, batch_mode=True)),
-        ):
-            mode_best_time = math.inf
-            for _ in range(repeats):
+        # Interleave modes within each repeat (see measure_throughput): load
+        # drifts then bias every mode alike rather than one ratio.
+        best_time = {mode: math.inf for mode, _ in zoo_modes}
+        for _ in range(repeats):
+            for mode, kwargs in zoo_modes:
                 stream = SEAGenerator(seed=1, **ZOO_STREAM_SHAPE)
                 detector = build_detector(name, n_features, n_classes)
                 started = time.perf_counter()
                 runner.run(stream, detector, n_instances=n_instances, **kwargs)
-                mode_best_time = min(
-                    mode_best_time, time.perf_counter() - started
+                best_time[mode] = min(
+                    best_time[mode], time.perf_counter() - started
                 )
-            throughput[mode] = n_instances / mode_best_time
-            total_time[mode] += mode_best_time
+        throughput = {
+            mode: n_instances / best_time[mode] for mode, _ in zoo_modes
+        }
+        for mode, _ in zoo_modes:
+            total_time[mode] += best_time[mode]
         per_detector[name] = {
             "instances_per_sec": {
                 mode: round(value, 1) for mode, value in throughput.items()
@@ -151,19 +176,25 @@ def measure_detector_zoo(
             "speedup_batch_vs_instance": round(
                 throughput["batch"] / throughput["instance"], 2
             ),
+            "speedup_exact_vs_instance": round(
+                throughput["chunk-exact"] / throughput["instance"], 2
+            ),
         }
     return {
         "description": (
-            "Instance-mode vs batch-mode prequential throughput of every "
-            "registry detector (SEA stream, Gaussian NB classifier); "
-            "best-of-N per detector, aggregate = total instances / total "
-            "wall time across the zoo."
+            "Instance-mode vs chunk-exact vs batch-mode prequential "
+            "throughput of every registry detector (SEA stream, Gaussian NB "
+            "classifier); best-of-N per detector, aggregate = total "
+            "instances / total wall time across the zoo."
         ),
         "n_instances": n_instances,
         "stream": ZOO_STREAM_SHAPE,
         "per_detector": per_detector,
         "aggregate_speedup_batch_vs_instance": round(
             total_time["instance"] / total_time["batch"], 2
+        ),
+        "aggregate_speedup_exact_vs_instance": round(
+            total_time["instance"] / total_time["chunk-exact"], 2
         ),
     }
 
@@ -275,23 +306,30 @@ class TestThroughput:
         assert speedup >= MIN_SPEEDUP, (
             f"batch mode only {speedup:.2f}x faster than instance mode "
             f"(floor {MIN_SPEEDUP}x; recorded baseline in "
-            "BENCH_throughput.json shows >= 5x)"
+            "BENCH_throughput.json shows >= 15x)"
         )
 
-    def test_exact_mode_not_slower(self):
+    def test_exact_mode_speedup(self):
         n_instances = stream_length(8_000, 20_000)
         throughput = measure_throughput(
             n_classes=3, n_features=3, n_instances=n_instances, repeats=2
         )
-        # The exact chunked mode removes stream overhead only; it must never
-        # regress below the plain instance loop by more than noise.
-        assert throughput["chunk-exact"] >= 0.9 * throughput["instance"]
+        # Chunk-exact mode is bit-identical to the instance loop but must
+        # deliver a real speedup, not just remove stream overhead.
+        speedup = throughput["chunk-exact"] / throughput["instance"]
+        assert speedup >= MIN_EXACT_SPEEDUP, (
+            f"chunk-exact mode only {speedup:.2f}x faster than instance "
+            f"mode (floor {MIN_EXACT_SPEEDUP}x; recorded baseline in "
+            "BENCH_throughput.json shows >= 5x)"
+        )
 
 
 class TestDetectorZoo:
     def test_zoo_kernels_beat_instance_mode(self):
+        # Best-of-2 per mode: a single repeat is too sensitive to scheduler
+        # noise for a gate (one unlucky instance-mode run skews the aggregate).
         n_instances = stream_length(4_000, 20_000)
-        results = measure_detector_zoo(n_instances=n_instances, repeats=1)
+        results = measure_detector_zoo(n_instances=n_instances, repeats=2)
         assert set(results["per_detector"]) == set(ZOO_DETECTORS)
         aggregate = results["aggregate_speedup_batch_vs_instance"]
         assert aggregate >= MIN_ZOO_AGGREGATE_SPEEDUP, (
@@ -313,7 +351,98 @@ class TestScheduleStream:
         )
 
 
-def main(smoke: bool = False) -> None:
+_RECORDED_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def print_regression_diff(current: dict) -> None:
+    """Print current headline speedups next to the recorded trajectory.
+
+    Informational only (smoke streams are far shorter than the recorded
+    measurement, so absolute throughput is not comparable — the *ratios*
+    are): a quick way to spot a mode regressing relative to the committed
+    BENCH_throughput.json without rerunning the full benchmark.
+    """
+    if not _RECORDED_PATH.exists():
+        print("\nno recorded BENCH_throughput.json; skipping regression diff")
+        return
+    recorded = json.loads(_RECORDED_PATH.read_text(encoding="utf-8"))
+
+    def row(label: str, old: float | None, new: float | None) -> None:
+        if old is None or new is None:
+            return
+        delta = (new - old) / old * 100.0
+        print(f"  {label:<45s} recorded {old:7.2f}x  current {new:7.2f}x  ({delta:+.0f}%)")
+
+    print("\nregression diff vs recorded BENCH_throughput.json (speedups):")
+    for name, workload in current.get("workloads", {}).items():
+        old = recorded.get("workloads", {}).get(name, {})
+        for key in ("speedup_batch_vs_instance", "speedup_exact_vs_instance"):
+            row(f"{name}.{key}", old.get(key), workload.get(key))
+    for key in (
+        "aggregate_speedup_batch_vs_instance",
+        "aggregate_speedup_exact_vs_instance",
+    ):
+        row(
+            f"detector_zoo.{key}",
+            recorded.get("detector_zoo", {}).get(key),
+            current.get("detector_zoo", {}).get(key),
+        )
+    row(
+        "schedule_stream.speedup_batch_vs_instance",
+        recorded.get("schedule_stream", {}).get("speedup_batch_vs_instance"),
+        current.get("schedule_stream", {}).get("speedup_batch_vs_instance"),
+    )
+
+
+def profile_slowest_workload(n_instances: int = 10_000) -> Path:
+    """Profile the slowest (workload, mode) pair and dump the pstats report.
+
+    A quick unprofiled sweep over every RBM-IM workload/mode pair finds the
+    lowest-throughput combination; that run is repeated under cProfile and
+    the cumulative-time breakdown is written to ``bench_profile.txt`` next to
+    ``BENCH_throughput.json`` (CI uploads it as an artifact).
+    """
+    slowest: tuple[float, str, str] | None = None
+    for name, shape in WORKLOADS.items():
+        throughput = measure_throughput(
+            n_instances=n_instances, repeats=1, **shape
+        )
+        for mode, value in throughput.items():
+            if slowest is None or value < slowest[0]:
+                slowest = (value, name, mode)
+    assert slowest is not None
+    _, name, mode = slowest
+    shape = WORKLOADS[name]
+    runner = PrequentialRunner(_nb_factory, pretrain_size=200, snapshot_every=2_500)
+    stream = SEAGenerator(seed=1, **shape)
+    detector = RBMIM(
+        shape["n_features"], shape["n_classes"], RBMIMConfig(batch_size=50, seed=11)
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner.run(stream, detector, n_instances=n_instances, **MODES[mode])
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(40)
+    stats.sort_stats("tottime").print_stats(25)
+    report = (
+        f"slowest workload: {name} in {mode} mode "
+        f"({slowest[0]:.1f} instances/sec over {n_instances} instances)\n\n"
+        + buffer.getvalue()
+    )
+    out_path = _RECORDED_PATH.parent / "bench_profile.txt"
+    out_path.write_text(report, encoding="utf-8")
+    print(report)
+    print(f"profile -> {out_path}")
+    return out_path
+
+
+def main(smoke: bool = False, profile: bool = False) -> None:
+    if profile:
+        profile_slowest_workload()
+        return
     if smoke:
         # CI harness check: tiny streams, full detector zoo, no recording.
         results = measure_detector_zoo(n_instances=1_500, repeats=1)
@@ -332,20 +461,50 @@ def main(smoke: bool = False) -> None:
                 f"{speedup:.2f}x faster than instance mode "
                 f"(floor {MIN_SCHEDULE_STREAM_SPEEDUP}x)"
             )
+        # RBM-IM reference workloads: hard floors on the batched CD-k path
+        # and the dispatch-free chunk-exact runner.
+        rbmim_results = run_benchmark(n_instances=15_000, repeats=3)
+        print(json.dumps(rbmim_results, indent=2))
+        for name, workload in rbmim_results["workloads"].items():
+            batch_speedup = workload["speedup_batch_vs_instance"]
+            exact_speedup = workload["speedup_exact_vs_instance"]
+            if batch_speedup < SMOKE_MIN_RBMIM_BATCH_SPEEDUP:
+                raise SystemExit(
+                    f"{name}: batch mode only {batch_speedup:.2f}x faster "
+                    f"than instance mode "
+                    f"(floor {SMOKE_MIN_RBMIM_BATCH_SPEEDUP}x)"
+                )
+            if exact_speedup < SMOKE_MIN_EXACT_SPEEDUP:
+                raise SystemExit(
+                    f"{name}: chunk-exact mode only {exact_speedup:.2f}x "
+                    f"faster than instance mode "
+                    f"(floor {SMOKE_MIN_EXACT_SPEEDUP}x)"
+                )
+        print_regression_diff(
+            {
+                **rbmim_results,
+                "detector_zoo": results,
+                "schedule_stream": schedule_results,
+            }
+        )
         print(
-            "\nsmoke OK: all detectors measured in both modes; "
-            f"schedule stream batch {speedup:.1f}x instance mode"
+            "\nsmoke OK: all detectors measured in all modes; "
+            f"schedule stream batch {speedup:.1f}x instance mode; "
+            "RBM-IM workloads hold the batch/chunk-exact floors"
         )
         return
-    results = run_benchmark(n_instances=30_000, repeats=3)
+    # best-of-5: single-core VMs see ±30% host-steal noise per draw, and the
+    # recorded ratios gate CI — more repeats, not longer streams, is what
+    # tightens them.
+    results = run_benchmark(n_instances=30_000, repeats=5)
     results["detector_zoo"] = measure_detector_zoo(n_instances=20_000, repeats=2)
     results["schedule_stream"] = measure_schedule_stream(
         n_instances=20_000, repeats=2
     )
-    path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
-    path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print_regression_diff(results)
+    _RECORDED_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(results, indent=2))
-    print(f"\nrecorded -> {path}")
+    print(f"\nrecorded -> {_RECORDED_PATH}")
 
 
 if __name__ == "__main__":
@@ -357,4 +516,10 @@ if __name__ == "__main__":
         action="store_true",
         help="seconds-long zoo run for CI; does not write BENCH_throughput.json",
     )
-    main(smoke=parser.parse_args().smoke)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the slowest workload/mode pair into bench_profile.txt",
+    )
+    arguments = parser.parse_args()
+    main(smoke=arguments.smoke, profile=arguments.profile)

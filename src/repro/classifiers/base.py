@@ -90,6 +90,26 @@ class StreamClassifier(abc.ABC):
         """Most probable class for each instance of a batch."""
         return np.argmax(self.predict_proba_batch(features), axis=1).astype(np.int64)
 
+    def predict_fit_interleaved(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Prequential test-then-train over a chunk: score row i with the
+        model state after rows ``0..i-1``, then learn row i.
+
+        Returns the ``(n, n_classes)`` probability scores.  The default
+        adapter replays :meth:`predict_proba` / :meth:`partial_fit` row by
+        row, so results are bit-identical to the instance loop; native
+        overrides must preserve that contract exactly (it is what lets the
+        chunk-exact evaluation mode batch the classifier work).
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.int64)
+        scores = np.empty((features.shape[0], self._n_classes))
+        for i in range(labels.shape[0]):
+            scores[i] = self.predict_proba(features[i])
+            self.partial_fit(features[i], int(labels[i]))
+        return scores
+
     @abc.abstractmethod
     def reset(self) -> None:
         """Forget everything learned so far (drift-triggered rebuild)."""

@@ -26,9 +26,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.granger import granger_causality
+from repro.core.granger import granger_causality, granger_causality_lag1_diff
 from repro.core.rbm import RBMConfig, SkewInsensitiveRBM
-from repro.core.reconstruction import instance_reconstruction_errors
+from repro.core.reconstruction import reconstruction_errors_from_hidden
 from repro.core.scaling import OnlineMinMaxScaler
 from repro.core.trend import TrendTracker
 from repro.detectors.base import InstanceDetector
@@ -143,18 +143,40 @@ class RBMIMConfig:
 
 @dataclass
 class _ClassMonitor:
-    """Per-class bookkeeping: error history, trend tracker, pending alarms."""
+    """Per-class bookkeeping: error history, trend tracker, pending alarms.
+
+    The baseline error history keeps running first and second moments next to
+    the bounded deque, so the z-score test reads two scalars instead of
+    re-reducing the whole window on every mini-batch; the per-class sample
+    pool is likewise reduced to (sum, count) — only its mean is ever used.
+    """
 
     tracker: TrendTracker
     errors: deque = field(default_factory=lambda: deque(maxlen=400))
+    error_sum: float = 0.0
+    error_sumsq: float = 0.0
     pending: int = 0
-    sample_buffer: list = field(default_factory=list)
+    sample_sum: float = 0.0
+    sample_count: int = 0
+
+    def append_error(self, error: float) -> None:
+        errors = self.errors
+        if len(errors) == errors.maxlen:
+            evicted = errors[0]
+            self.error_sum -= evicted
+            self.error_sumsq -= evicted * evicted
+        errors.append(error)
+        self.error_sum += error
+        self.error_sumsq += error * error
 
     def reset(self) -> None:
         self.tracker.reset()
         self.errors.clear()
+        self.error_sum = 0.0
+        self.error_sumsq = 0.0
         self.pending = 0
-        self.sample_buffer.clear()
+        self.sample_sum = 0.0
+        self.sample_count = 0
 
 
 class RBMIM(InstanceDetector):
@@ -210,8 +232,18 @@ class RBMIM(InstanceDetector):
             )
             for _ in range(n_classes)
         ]
-        self._buffer_x: list[np.ndarray] = []
-        self._buffer_y: list[int] = []
+        # Mini-batch accumulator: a preallocated block the instance and batch
+        # paths both write rows into (no per-instance list bookkeeping).
+        self._buffer_X = np.empty((self._cfg.batch_size, n_features))
+        self._buffer_y = np.empty(self._cfg.batch_size, dtype=np.int64)
+        self._buffer_n = 0
+        self._row_arange = np.arange(self._cfg.batch_size)
+        # Per-batch scratch: packed [v | z] rows, hidden activations and the
+        # reconstruction output are reused across mini-batches (contents are
+        # fully overwritten each `_process_batch`).
+        self._vz0_buf = np.zeros((self._cfg.batch_size, n_features + n_classes))
+        self._h_buf = np.empty((self._cfg.batch_size, n_hidden))
+        self._recon_buf = np.empty((self._cfg.batch_size, n_features + n_classes))
         self._warm_started = False
         self._batches_processed = 0
         self._last_per_class_errors = np.full(n_classes, np.nan)
@@ -250,8 +282,7 @@ class RBMIM(InstanceDetector):
         super().reset()
         for monitor in self._monitors:
             monitor.reset()
-        self._buffer_x.clear()
-        self._buffer_y.clear()
+        self._buffer_n = 0
         self._rbm = SkewInsensitiveRBM(self._rbm_config)
         self._scaler = OnlineMinMaxScaler(
             self._n_features, forget=self._cfg.scaler_forget
@@ -287,9 +318,11 @@ class RBMIM(InstanceDetector):
             )
         if not 0 <= int(y) < self._n_classes:
             raise ValueError("label out of range")
-        self._buffer_x.append(x)
-        self._buffer_y.append(int(y))
-        if len(self._buffer_x) >= self._cfg.batch_size:
+        n = self._buffer_n
+        self._buffer_X[n] = x
+        self._buffer_y[n] = int(y)
+        self._buffer_n = n + 1
+        if self._buffer_n >= self._cfg.batch_size:
             self._process_batch()
 
     def step_batch(
@@ -321,17 +354,21 @@ class RBMIM(InstanceDetector):
         batch_size = self._cfg.batch_size
         consumed = 0
         while consumed < n:
-            room = batch_size - len(self._buffer_y)
-            take = min(n - consumed, room)
-            chunk = features[consumed : consumed + take]
-            self._buffer_x.extend(chunk)
-            self._buffer_y.extend(y_true[consumed : consumed + take].tolist())
+            filled = self._buffer_n
+            take = min(n - consumed, batch_size - filled)
+            self._buffer_X[filled : filled + take] = features[
+                consumed : consumed + take
+            ]
+            self._buffer_y[filled : filled + take] = y_true[
+                consumed : consumed + take
+            ]
+            self._buffer_n = filled + take
             self._n_observations += take
             consumed += take
             self._in_drift = False
             self._in_warning = False
             self._drifted_classes = None
-            if len(self._buffer_y) >= batch_size:
+            if self._buffer_n >= batch_size:
                 self._process_batch()
                 if self._in_drift:
                     flags[consumed - 1] = True
@@ -343,48 +380,67 @@ class RBMIM(InstanceDetector):
 
     def flush(self) -> None:
         """Force processing of a partially filled buffer (end of stream)."""
-        if len(self._buffer_x) >= 2:
+        if self._buffer_n >= 2:
             self._process_batch()
 
     # ------------------------------------------------------------ internals
     def _process_batch(self) -> None:
-        X = np.vstack(self._buffer_x)
-        y = np.asarray(self._buffer_y, dtype=np.int64)
-        self._buffer_x.clear()
-        self._buffer_y.clear()
+        n = self._buffer_n
+        self._buffer_n = 0
+        X = self._buffer_X[:n]
+        y = self._buffer_y[:n]
 
         if not self._warm_started:
             self.warm_start(X, y)
             self._batches_processed += 1
             return
 
-        self._scaler.partial_fit(X)
-        scaled = self._scaler.transform(X)
+        scaled = self._scaler.partial_fit_transform(X)
+
+        # One fused forward pass on packed [v | z] rows: the hidden
+        # probabilities feed both the Eq. 26 reconstruction errors and the
+        # positive phase of the first CD epoch below.
+        n_features = self._n_features
+        vz0 = self._vz0_buf[:n]
+        vz0[:, :n_features] = scaled
+        z0 = vz0[:, n_features:]
+        z0[:] = 0.0
+        vz0[self._row_arange[:n], n_features + y] = 1.0
+        h = self._rbm.hidden_probabilities_packed(vz0, out=self._h_buf[:n])
+        errors = reconstruction_errors_from_hidden(
+            self._rbm, scaled, z0, h, recon_out=self._recon_buf[:n]
+        )
 
         # Pool instance errors per class; minority classes accumulate across
         # mini-batches until `min_class_samples` instances are available so
         # their error estimate is not single-instance noise (Eq. 27 averaged
-        # over an adaptive per-class pool).
-        errors = instance_reconstruction_errors(self._rbm, scaled, y)
+        # over an adaptive per-class pool).  Two bincounts replace the
+        # per-class mask scans.
+        counts = np.bincount(y, minlength=self._n_classes).tolist()
+        error_sums = np.bincount(
+            y, weights=errors, minlength=self._n_classes
+        ).tolist()
         per_class_errors = np.full(self._n_classes, np.nan)
+        min_samples = self._cfg.min_class_samples
+        min_history = self._cfg.min_class_history
         drifted: set[int] = set()
         warning = False
         for label in range(self._n_classes):
             monitor = self._monitors[label]
-            mask = y == label
-            if mask.any():
-                monitor.sample_buffer.extend(errors[mask].tolist())
-            if len(monitor.sample_buffer) < self._cfg.min_class_samples:
+            if counts[label]:
+                monitor.sample_sum += error_sums[label]
+                monitor.sample_count += counts[label]
+            if monitor.sample_count < min_samples:
                 continue
-            error = float(np.mean(monitor.sample_buffer))
-            monitor.sample_buffer.clear()
+            error = monitor.sample_sum / monitor.sample_count
+            monitor.sample_sum = 0.0
+            monitor.sample_count = 0
             per_class_errors[label] = error
-            history = list(monitor.errors)
-            monitor.tracker.update(float(error))
-            if len(history) < self._cfg.min_class_history:
-                monitor.errors.append(float(error))
+            monitor.tracker.update(error)
+            if len(monitor.errors) < min_history:
+                monitor.append_error(error)
                 continue
-            suspicious, is_warning = self._test_class(monitor, history, float(error))
+            suspicious, is_warning = self._test_class(monitor, error)
             if suspicious:
                 # Suspicious batches are not absorbed into the baseline: the
                 # class either confirms the drift on the next batches or the
@@ -396,7 +452,7 @@ class RBMIM(InstanceDetector):
                     warning = True
             else:
                 monitor.pending = 0
-                monitor.errors.append(float(error))
+                monitor.append_error(error)
                 warning = warning or is_warning
 
         self._last_per_class_errors = per_class_errors
@@ -413,26 +469,44 @@ class RBMIM(InstanceDetector):
         # confirmation) — training on them would erase the very signal the
         # confirmation step needs.  Once a drift is confirmed the monitors are
         # reset and the class is learned again from the next batch onward.
-        pending = {
+        # The common no-suspicion case reuses the z0/h pair from the error
+        # pass for the first epoch's positive phase; later epochs recompute h
+        # because the parameters have moved.
+        pending = [
             label
             for label, monitor in enumerate(self._monitors)
             if monitor.pending > 0 and label not in drifted
-        }
-        train_mask = ~np.isin(y, list(pending)) if pending else np.ones_like(y, dtype=bool)
-        if train_mask.any():
-            for _ in range(self._cfg.train_epochs):
-                self._rbm.partial_fit(scaled[train_mask], y[train_mask])
+        ]
+        cfg = self._cfg
+        if not pending:
+            self._rbm.partial_fit(scaled, y, vz0=vz0, h0=h, want_error=False)
+            for _ in range(cfg.train_epochs - 1):
+                self._rbm.partial_fit(scaled, y, vz0=vz0, want_error=False)
+        else:
+            train_mask = ~np.isin(y, pending)
+            if train_mask.any():
+                vz0_t = vz0[train_mask]
+                scaled_t = vz0_t[:, :n_features]
+                y_t = y[train_mask]
+                self._rbm.partial_fit(
+                    scaled_t, y_t, vz0=vz0_t, h0=h[train_mask], want_error=False
+                )
+                for _ in range(cfg.train_epochs - 1):
+                    self._rbm.partial_fit(scaled_t, y_t, vz0=vz0_t, want_error=False)
         self._batches_processed += 1
 
-    def _test_class(
-        self, monitor: _ClassMonitor, history: list[float], error: float
-    ) -> tuple[bool, bool]:
-        """Drift / warning decision for one class given its error history."""
+    def _test_class(self, monitor: _ClassMonitor, error: float) -> tuple[bool, bool]:
+        """Drift / warning decision for one class given its error history.
+
+        The baseline mean/std come from the monitor's running first and
+        second moments (two scalar reads instead of reducing the whole
+        window every mini-batch).
+        """
         cfg = self._cfg
-        baseline = np.asarray(history, dtype=np.float64)
-        mean = float(baseline.mean())
-        centred = baseline - mean
-        std = float(np.sqrt(centred @ centred / baseline.shape[0]))
+        k = len(monitor.errors)
+        mean = monitor.error_sum / k
+        variance = monitor.error_sumsq / k - mean * mean
+        std = float(np.sqrt(variance)) if variance > 0.0 else 0.0
         std = max(std, 1e-3 * max(abs(mean), 1e-6), 1e-9)
         z_score = (error - mean) / std
         escalated = z_score > cfg.sensitivity
@@ -441,23 +515,34 @@ class RBMIM(InstanceDetector):
         if not cfg.use_granger:
             return escalated, warning and not escalated
 
-        trends = monitor.tracker.trend_history
+        if cfg.require_error_increase and not escalated:
+            # Drift needs causality breakdown AND escalation, and the warning
+            # outcome is the same on the Granger path and its fallback — the
+            # test cannot change the decision, so it is skipped outright.
+            # This removes the per-class Granger fit from almost every batch.
+            return False, warning
+
         segment = cfg.granger_segment
-        if len(trends) < 2 * segment:
+        if monitor.tracker.n_trends < 2 * segment:
             # Not enough trend history for the causality test: fall back to
             # the escalation rule alone so early drifts are not missed.
             return escalated, warning and not escalated
 
-        previous = np.asarray(trends[-2 * segment : -segment])
-        current = np.asarray(trends[-segment:])
-        result = granger_causality(
-            previous,
-            current,
-            lags=cfg.granger_lags,
-            alpha=cfg.granger_alpha,
-            use_first_differences=True,
-        )
-        causality_broken = not result.causality
+        tail = monitor.tracker.trend_tail(2 * segment)
+        if cfg.granger_lags == 1:
+            causality = granger_causality_lag1_diff(
+                tail[:segment], tail[segment:], alpha=cfg.granger_alpha
+            )
+        else:
+            result = granger_causality(
+                np.asarray(tail[:segment]),
+                np.asarray(tail[segment:]),
+                lags=cfg.granger_lags,
+                alpha=cfg.granger_alpha,
+                use_first_differences=True,
+            )
+            causality = result.causality
+        causality_broken = not causality
         if cfg.require_error_increase:
             drift = causality_broken and escalated
         else:

@@ -19,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
-__all__ = ["GrangerResult", "granger_causality", "first_differences"]
+__all__ = [
+    "GrangerResult",
+    "granger_causality",
+    "granger_causality_lag1_diff",
+    "first_differences",
+]
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,108 @@ def _f_sf(f_statistic: float, df_num: int, df_den: int) -> float:
         return 1.0
     x = df_den / (df_den + df_num * f_statistic)
     return float(special.betainc(df_den / 2.0, df_num / 2.0, x))
+
+
+def _constant_scalar(series: list[float]) -> bool:
+    """Scalar twin of :func:`_is_constant` for short Python-float series."""
+    reference = series[0]
+    tolerance = 1e-8 + 1e-5 * abs(reference)
+    return all(abs(v - reference) <= tolerance for v in series)
+
+
+def granger_causality_lag1_diff(
+    cause, effect, alpha: float = 0.05
+) -> bool:
+    """Decision-only fast path: lag-1 Granger test on first differences.
+
+    Computes the identical restricted/unrestricted OLS comparison as
+    ``granger_causality(cause, effect, lags=1, use_first_differences=True)``
+    but entirely in scalar arithmetic, which is an order of magnitude faster
+    at the series lengths RBM-IM tests every mini-batch (two
+    ``granger_segment``-long trend windows).  Returns only the ``causality``
+    decision; degenerate inputs fall back to the array implementation so the
+    two paths cannot disagree on the conservative defaults.
+    """
+    length = min(len(cause), len(effect))
+    if length < 2:
+        return True
+    cause = cause[-length:]
+    effect = effect[-length:]
+    # First differences, then one observation consumed by the lag.
+    dc = [cause[i + 1] - cause[i] for i in range(length - 1)]
+    de = [effect[i + 1] - effect[i] for i in range(length - 1)]
+    m = length - 1
+    n = m - 1  # usable observations
+    if n < 4:  # 2 * lags + 2 parameters at lags=1
+        return True
+    if _constant_scalar(de) or _constant_scalar(dc):
+        return True
+
+    # Restricted model: de[t] ~ 1 + de[t-1].
+    sy = sx1 = sx2 = s11 = s22 = s12 = s1y = s2y = 0.0
+    for t in range(n):
+        y_t = de[t + 1]
+        x1 = de[t]
+        x2 = dc[t]
+        sy += y_t
+        sx1 += x1
+        sx2 += x2
+        s11 += x1 * x1
+        s22 += x2 * x2
+        s12 += x1 * x2
+        s1y += x1 * y_t
+        s2y += x2 * y_t
+    fn = float(n)
+    det_r = fn * s11 - sx1 * sx1
+    if abs(det_r) <= 1e-12 * (abs(fn * s11) + sx1 * sx1):
+        # Singular normal equations: defer to the lstsq-backed general path.
+        return granger_causality(
+            np.asarray(cause, dtype=np.float64),
+            np.asarray(effect, dtype=np.float64),
+            lags=1,
+            alpha=alpha,
+            use_first_differences=True,
+        ).causality
+    b1 = (fn * s1y - sx1 * sy) / det_r
+    b0 = (sy - b1 * sx1) / fn
+    rss_r = 0.0
+    for t in range(n):
+        resid = de[t + 1] - b0 - b1 * de[t]
+        rss_r += resid * resid
+
+    # Unrestricted model: de[t] ~ 1 + de[t-1] + dc[t-1] (3x3 normal equations
+    # solved by cofactors, mirroring _solve_spd's closed form).
+    a, b, c = fn, sx1, sx2
+    d, e, f = sx1, s11, s12
+    g, h, i = sx2, s12, s22
+    co_a = e * i - f * h
+    co_b = f * g - d * i
+    co_c = d * h - e * g
+    det_u = a * co_a + b * co_b + c * co_c
+    scale = abs(a * co_a) + abs(b * co_b) + abs(c * co_c)
+    if abs(det_u) <= 1e-12 * scale:
+        return granger_causality(
+            np.asarray(cause, dtype=np.float64),
+            np.asarray(effect, dtype=np.float64),
+            lags=1,
+            alpha=alpha,
+            use_first_differences=True,
+        ).causality
+    u0 = (co_a * sy + (c * h - b * i) * s1y + (b * f - c * e) * s2y) / det_u
+    u1 = (co_b * sy + (a * i - c * g) * s1y + (c * d - a * f) * s2y) / det_u
+    u2 = (co_c * sy + (b * g - a * h) * s1y + (a * e - b * d) * s2y) / det_u
+    rss_u = 0.0
+    for t in range(n):
+        resid = de[t + 1] - u0 - u1 * de[t] - u2 * dc[t]
+        rss_u += resid * resid
+
+    df_den = n - 3
+    if df_den <= 0 or rss_u <= 1e-18:
+        return True
+    f_statistic = (rss_r - rss_u) / (rss_u / df_den)
+    if f_statistic < 0.0:
+        f_statistic = 0.0
+    return _f_sf(f_statistic, 1, df_den) < alpha
 
 
 def granger_causality(

@@ -89,6 +89,10 @@ class ClassBalancedWeighter:
         self._beta = beta
         self._decay = decay
         self._counts = np.zeros(n_classes, dtype=np.float64)
+        # Sticky: counts can only grow (decay never zeroes a positive count),
+        # so once every class has been seen the check short-circuits forever.
+        self._all_seen = False
+        self._weight_scratch = np.empty(n_classes)
 
     @property
     def counts(self) -> np.ndarray:
@@ -119,5 +123,31 @@ class ClassBalancedWeighter:
         labels = np.asarray(labels, dtype=np.int64)
         return self.class_weights()[labels]
 
+    def observe_weights(self, labels: np.ndarray) -> np.ndarray:
+        """Fused :meth:`observe` + :meth:`instance_weights` for the hot path.
+
+        Assumes the caller already validated the labels.  Once every class
+        has been seen, the weights reduce to ``(1/E_m) / mean(1/E)`` — the
+        ``(1 - beta)`` factor cancels under normalisation — which needs a
+        handful of ufunc calls instead of the general masked computation.
+        """
+        if self._decay < 1.0:
+            self._counts *= self._decay
+        self._counts += np.bincount(labels, minlength=self._n_classes)
+        counts = self._counts
+        if not self._all_seen:
+            if not counts.all():
+                return class_balanced_weights(counts, self._beta)[labels]
+            self._all_seen = True
+        if self._beta == 0.0:
+            return class_balanced_weights(counts, self._beta)[labels]
+        buf = self._weight_scratch
+        np.power(self._beta, counts, out=buf)
+        np.subtract(1.0, buf, out=buf)
+        np.reciprocal(buf, out=buf)
+        buf /= buf.mean()
+        return buf[labels]
+
     def reset(self) -> None:
         self._counts[:] = 0.0
+        self._all_seen = False

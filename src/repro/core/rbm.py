@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import special
 
 from repro.core.loss import ClassBalancedWeighter
 
@@ -23,7 +24,10 @@ __all__ = ["RBMConfig", "SkewInsensitiveRBM"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    # expit is a single C ufunc (numerically saturating, no explicit clip
+    # needed) — measurably cheaper than composing exp/add/divide at the
+    # mini-batch sizes RBM-IM trains on.
+    return special.expit(x)
 
 
 def _softmax(x: np.ndarray) -> np.ndarray:
@@ -93,21 +97,59 @@ class SkewInsensitiveRBM:
         rng = np.random.default_rng(config.seed)
         scale = 0.01
         self._rng = rng
-        # Connection weights: W (V x H) between v and h, U (H x Z) between h and z.
-        self._W = rng.normal(0.0, scale, size=(config.n_visible, config.n_hidden))
-        self._U = rng.normal(0.0, scale, size=(config.n_hidden, config.n_classes))
-        self._a = np.zeros(config.n_visible)  # visible biases
+        # Connection weights live packed: one (V+Z, H) matrix whose first V
+        # rows are W (v <-> h) and last Z rows are U.T (z <-> h), with the
+        # visible and class biases packed the same way.  The CD-k update then
+        # works on concatenated (v, z) rows with a single matmul/velocity
+        # triple where the unpacked layout needs two of everything — at
+        # streaming mini-batch sizes the dispatch overhead of those extra
+        # NumPy calls dominates the arithmetic.
+        n_vz = config.n_visible + config.n_classes
+        self._n_visible = config.n_visible
+        self._Wvz = np.empty((n_vz, config.n_hidden))
+        self._Wvz[: config.n_visible] = rng.normal(
+            0.0, scale, size=(config.n_visible, config.n_hidden)
+        )
+        self._Wvz[config.n_visible :] = rng.normal(
+            0.0, scale, size=(config.n_hidden, config.n_classes)
+        ).T
+        self._bias_vz = np.zeros(n_vz)  # visible biases a | class biases c
         self._b = np.zeros(config.n_hidden)  # hidden biases
-        self._c = np.zeros(config.n_classes)  # class biases
-        self._vel_W = np.zeros_like(self._W)
-        self._vel_U = np.zeros_like(self._U)
-        self._vel_a = np.zeros_like(self._a)
-        self._vel_b = np.zeros_like(self._b)
-        self._vel_c = np.zeros_like(self._c)
+        self._vel_Wvz = np.zeros_like(self._Wvz)
+        self._vel_bias_vz = np.zeros(n_vz)
+        self._vel_b = np.zeros(config.n_hidden)
         self._weighter = ClassBalancedWeighter(
             config.n_classes, beta=config.balance_beta, decay=config.balance_decay
         )
         self._n_batches_trained = 0
+        # Gradient scratch (parameter-shaped, batch-size independent).  The
+        # batch-shaped training scratch is (re)allocated lazily by
+        # _ensure_scratch; all scratch contents are overwritten before use,
+        # so snapshots/rollbacks of the whole object stay consistent.
+        self._grad_Wvz = np.empty_like(self._Wvz)
+        self._decay_Wvz = np.empty_like(self._Wvz)
+        self._grad_bias_vz = np.empty(n_vz)
+        self._grad_b = np.empty(config.n_hidden)
+        self._scratch_n = 0
+
+    def _ensure_scratch(self, n: int) -> None:
+        """(Re)allocate the batch-shaped training scratch for batch size n."""
+        if self._scratch_n == n:
+            return
+        n_vz = self._Wvz.shape[0]
+        n_hidden = self._config.n_hidden
+        self._scratch_n = n
+        # Packed [vz0 ; vzk] rows and [w*h0 ; -w*hk] rows: the CD-k weight
+        # gradient collapses to ONE gemm over the concatenation, and the
+        # hidden-bias gradient to one column sum of the h block.
+        self._vz2 = np.empty((2 * n, n_vz))
+        self._h2 = np.empty((2 * n, n_hidden))
+        self._diff_vz = np.empty((n, n_vz))
+        self._rand = np.empty((n, n_hidden))
+        self._less = np.empty((n, n_hidden), dtype=bool)
+        self._h_sample = np.empty((n, n_hidden))
+        self._hk = np.empty((n, n_hidden))
+        self._neg_w = np.empty((n, 1))
 
     # ---------------------------------------------------------------- state
     @property
@@ -124,6 +166,24 @@ class SkewInsensitiveRBM:
         return self._weighter.counts
 
     @property
+    def _W(self) -> np.ndarray:
+        """View of the v<->h weights inside the packed parameter block."""
+        return self._Wvz[: self._n_visible]
+
+    @property
+    def _U(self) -> np.ndarray:
+        """View of the h<->z weights inside the packed parameter block."""
+        return self._Wvz[self._n_visible :].T
+
+    @property
+    def _a(self) -> np.ndarray:
+        return self._bias_vz[: self._n_visible]
+
+    @property
+    def _c(self) -> np.ndarray:
+        return self._bias_vz[self._n_visible :]
+
+    @property
     def weights(self) -> dict[str, np.ndarray]:
         """Copies of all parameters (for inspection / serialisation)."""
         return {
@@ -137,15 +197,53 @@ class SkewInsensitiveRBM:
     # -------------------------------------------------------- conditionals
     def hidden_probabilities(self, v: np.ndarray, z: np.ndarray) -> np.ndarray:
         """``P(h_j = 1 | v, z)`` — Eq. 10."""
-        return _sigmoid(self._b + v @ self._W + z @ self._U.T)
+        split = self._n_visible
+        return _sigmoid(self._b + v @ self._Wvz[:split] + z @ self._Wvz[split:])
+
+    def hidden_probabilities_packed(
+        self, vz: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Eq. 10 on pre-concatenated ``[v | z]`` rows (one matmul)."""
+        if out is None:
+            return _sigmoid(self._b + vz @ self._Wvz)
+        np.matmul(vz, self._Wvz, out=out)
+        out += self._b
+        special.expit(out, out=out)
+        return out
 
     def visible_probabilities(self, h: np.ndarray) -> np.ndarray:
         """``P(v_i = 1 | h)`` — Eq. 11."""
-        return _sigmoid(self._a + h @ self._W.T)
+        split = self._n_visible
+        return _sigmoid(self._bias_vz[:split] + h @ self._Wvz[:split].T)
 
     def class_probabilities(self, h: np.ndarray) -> np.ndarray:
         """``P(z = 1_k | h)`` — softmax class layer, Eq. 12."""
-        return _softmax(self._c + h @ self._U)
+        split = self._n_visible
+        return _softmax(self._bias_vz[split:] + h @ self._Wvz[split:].T)
+
+    def reconstruct_packed(
+        self, h: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Eqs. 11-12 fused: reconstructed ``[v | z]`` rows from hidden probs.
+
+        Returns an ``(n, V+Z)`` array (``out`` when given, else freshly
+        allocated) whose first V columns hold the sigmoid visible
+        reconstruction and last Z columns the softmax class reconstruction;
+        callers may mutate it freely.
+        """
+        if out is None:
+            t = h @ self._Wvz.T
+        else:
+            t = np.matmul(h, self._Wvz.T, out=out)
+        t += self._bias_vz
+        split = self._n_visible
+        visible = t[:, :split]
+        special.expit(visible, out=visible)
+        cls = t[:, split:]
+        cls -= cls.max(axis=1, keepdims=True)
+        np.exp(cls, out=cls)
+        cls /= cls.sum(axis=1, keepdims=True)
+        return t
 
     def energy(self, v: np.ndarray, h: np.ndarray, z: np.ndarray) -> np.ndarray:
         """Energy function of Eq. 8 evaluated per row of the batch."""
@@ -167,7 +265,16 @@ class SkewInsensitiveRBM:
         return encoded
 
     # ------------------------------------------------------------ training
-    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> float:
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        z0: np.ndarray | None = None,
+        h0: np.ndarray | None = None,
+        vz0: np.ndarray | None = None,
+        want_error: bool = True,
+    ) -> float:
         """Run one weighted CD-k update on a mini-batch.
 
         Parameters
@@ -176,6 +283,15 @@ class SkewInsensitiveRBM:
             Mini-batch of feature rows already scaled to [0, 1].
         y:
             Integer labels of the mini-batch.
+        z0, h0, vz0:
+            Optional precomputed one-hot labels, hidden probabilities for the
+            *current* parameters, and packed ``[X | z0]`` rows (as produced by
+            the reconstruction-error pass): when supplied, the positive phase
+            reuses them instead of recomputing — the fused path RBM-IM drives
+            every mini-batch.
+        want_error:
+            Skip the reconstruction-MSE summary (returning 0.0) when the
+            caller does not consume it.
 
         Returns
         -------
@@ -183,61 +299,97 @@ class SkewInsensitiveRBM:
             Mean (unweighted) reconstruction MSE of the batch, useful as a
             cheap training-progress signal.
         """
-        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        y = np.asarray(y, dtype=np.int64)
-        if X.shape[0] != y.shape[0]:
-            raise ValueError("X and y disagree on batch size")
-        if X.shape[1] != self._config.n_visible:
-            raise ValueError(
-                f"expected {self._config.n_visible} features, got {X.shape[1]}"
-            )
         cfg = self._config
-        self._weighter.observe(y)
-        sample_weights = self._weighter.instance_weights(y)[:, None]
+        y = np.asarray(y, dtype=np.int64)
+        if vz0 is None:
+            # The fused detector path supplies validated [X | z0] rows; only
+            # the public entry needs the shape checks and the concatenation.
+            X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+            if X.shape[0] != y.shape[0]:
+                raise ValueError("X and y disagree on batch size")
+            if X.shape[1] != cfg.n_visible:
+                raise ValueError(
+                    f"expected {cfg.n_visible} features, got {X.shape[1]}"
+                )
+            if z0 is None:
+                z0 = self._one_hot(y)
+            vz0 = np.concatenate((X, z0), axis=1)
+        batch_size = vz0.shape[0]
+        sample_weights = self._weighter.observe_weights(y)[:, None]
+        h0_prob = h0 if h0 is not None else self.hidden_probabilities_packed(vz0)
 
-        v0 = X
-        z0 = self._one_hot(y)
-        h0_prob = self.hidden_probabilities(v0, z0)
+        self._ensure_scratch(batch_size)
+        n = batch_size
+        vz2 = self._vz2
+        vz2[:n] = vz0
+        vzk = vz2[n:]
 
-        # Gibbs chain (CD-k).
-        h_sample = (self._rng.random(h0_prob.shape) < h0_prob).astype(np.float64)
-        vk_prob = v0
-        zk_prob = z0
+        # Gibbs chain (CD-k); the chain state after the last step is never
+        # consumed, so no sample is drawn for it.
+        rng = self._rng
+        h_sample = self._h_sample
+        rng.random(out=self._rand)
+        np.less(self._rand, h0_prob, out=self._less)
+        np.copyto(h_sample, self._less, casting="unsafe")
         hk_prob = h0_prob
-        for _ in range(cfg.cd_steps):
-            vk_prob = self.visible_probabilities(h_sample)
-            zk_prob = self.class_probabilities(h_sample)
-            hk_prob = self.hidden_probabilities(vk_prob, zk_prob)
-            h_sample = (self._rng.random(hk_prob.shape) < hk_prob).astype(np.float64)
+        for step in range(cfg.cd_steps):
+            self.reconstruct_packed(h_sample, out=vzk)
+            hk_prob = self.hidden_probabilities_packed(vzk, out=self._hk)
+            if step + 1 < cfg.cd_steps:
+                rng.random(out=self._rand)
+                np.less(self._rand, hk_prob, out=self._less)
+                np.copyto(h_sample, self._less, casting="unsafe")
 
-        batch_size = X.shape[0]
-        weighted_v0 = v0 * sample_weights
-        weighted_vk = vk_prob * sample_weights
-        weighted_h0 = h0_prob * sample_weights
-        weighted_hk = hk_prob * sample_weights
-
-        grad_W = (weighted_v0.T @ h0_prob - weighted_vk.T @ hk_prob) / batch_size
-        grad_U = (weighted_h0.T @ z0 - weighted_hk.T @ zk_prob) / batch_size
-        grad_a = (weighted_v0 - weighted_vk).mean(axis=0)
-        grad_b = (weighted_h0 - weighted_hk).mean(axis=0)
-        grad_c = ((z0 - zk_prob) * sample_weights).mean(axis=0)
+        # The sample weights enter every gradient as a diagonal matrix, so
+        # they may sit on either side of each outer product; weighting the
+        # (smaller) hidden side lets the whole weight gradient collapse into
+        # one gemm over the packed rows:
+        #   [vz0 ; vzk]^T @ [w*h0 ; -w*hk] = vz0^T(w*h0) - vzk^T(w*hk),
+        # and the hidden-bias gradient into one column sum of the h block.
+        h2 = self._h2
+        np.negative(sample_weights, out=self._neg_w)
+        np.multiply(h0_prob, sample_weights, out=h2[:n])
+        np.multiply(hk_prob, self._neg_w, out=h2[n:])
 
         lr = cfg.learning_rate
+        lr_batch = lr / batch_size
         mom = cfg.momentum
-        decay = cfg.weight_decay
-        self._vel_W = mom * self._vel_W + lr * (grad_W - decay * self._W)
-        self._vel_U = mom * self._vel_U + lr * (grad_U - decay * self._U)
-        self._vel_a = mom * self._vel_a + lr * grad_a
-        self._vel_b = mom * self._vel_b + lr * grad_b
-        self._vel_c = mom * self._vel_c + lr * grad_c
-        self._W += self._vel_W
-        self._U += self._vel_U
-        self._a += self._vel_a
-        self._b += self._vel_b
-        self._c += self._vel_c
+        grad_W = self._grad_Wvz
+        np.matmul(vz2.T, h2, out=grad_W)
+        grad_W *= lr_batch
+        vel_W = self._vel_Wvz
+        vel_W *= mom
+        vel_W += grad_W
+        np.multiply(self._Wvz, lr * cfg.weight_decay, out=self._decay_Wvz)
+        vel_W -= self._decay_Wvz
+
+        diff_vz = self._diff_vz
+        np.subtract(vz0, vzk, out=diff_vz)
+        diff_vz *= sample_weights
+        grad_bias = self._grad_bias_vz
+        diff_vz.sum(axis=0, out=grad_bias)
+        grad_bias *= lr_batch
+        vel_bias = self._vel_bias_vz
+        vel_bias *= mom
+        vel_bias += grad_bias
+
+        grad_b = self._grad_b
+        h2.sum(axis=0, out=grad_b)
+        grad_b *= lr_batch
+        vel_b = self._vel_b
+        vel_b *= mom
+        vel_b += grad_b
+
+        self._Wvz += vel_W
+        self._bias_vz += vel_bias
+        self._b += vel_b
 
         self._n_batches_trained += 1
-        return float(np.mean((v0 - vk_prob) ** 2))
+        if not want_error:
+            return 0.0
+        split = self._n_visible
+        diff = vz0[:, :split] - vzk[:, :split]
+        return float(np.mean(diff * diff))
 
     # ----------------------------------------------------------- inference
     def reconstruct(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

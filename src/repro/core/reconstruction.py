@@ -16,7 +16,34 @@ import numpy as np
 
 from repro.core.rbm import SkewInsensitiveRBM
 
-__all__ = ["instance_reconstruction_errors", "per_class_reconstruction_error"]
+__all__ = [
+    "instance_reconstruction_errors",
+    "reconstruction_errors_from_hidden",
+    "per_class_reconstruction_error",
+]
+
+
+def reconstruction_errors_from_hidden(
+    rbm: SkewInsensitiveRBM,
+    X: np.ndarray,
+    z0: np.ndarray,
+    h: np.ndarray,
+    recon_out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Eq. 26 errors from precomputed one-hot labels and hidden activations.
+
+    The hidden probabilities for the clamped ``(v, z)`` pair are exactly what
+    the subsequent CD training step needs for its positive phase, so RBM-IM
+    computes them once per mini-batch and feeds them both here and into
+    :meth:`SkewInsensitiveRBM.partial_fit`.  ``recon_out``, when given, is a
+    ``(n, n_visible + n_classes)`` scratch buffer the reconstruction is
+    written into (its contents are clobbered).
+    """
+    recon = rbm.reconstruct_packed(h, out=recon_out)
+    split = X.shape[1]
+    recon[:, :split] -= X
+    recon[:, split:] -= z0
+    return np.sqrt(np.einsum("ij,ij->i", recon, recon))
 
 
 def instance_reconstruction_errors(
@@ -40,12 +67,10 @@ def instance_reconstruction_errors(
     """
     X = np.atleast_2d(np.asarray(X, dtype=np.float64))
     y = np.asarray(y, dtype=np.int64)
-    x_recon, z_recon = rbm.reconstruct(X, y)
-    one_hot = np.zeros_like(z_recon)
+    one_hot = np.zeros((y.shape[0], rbm.config.n_classes))
     one_hot[np.arange(y.shape[0]), y] = 1.0
-    feature_part = np.sum((X - x_recon) ** 2, axis=1)
-    class_part = np.sum((one_hot - z_recon) ** 2, axis=1)
-    return np.sqrt(feature_part + class_part)
+    h = rbm.hidden_probabilities(X, one_hot)
+    return reconstruction_errors_from_hidden(rbm, X, one_hot, h)
 
 
 def per_class_reconstruction_error(

@@ -36,6 +36,7 @@ class OnlineMinMaxScaler:
         self._forget = forget
         self._min = np.full(n_features, np.inf)
         self._max = np.full(n_features, -np.inf)
+        self._span = np.ones(n_features)
         self._fitted = False
 
     @property
@@ -62,6 +63,10 @@ class OnlineMinMaxScaler:
             self._max += self._forget * (centre - self._max)
         self._min = np.minimum(self._min, batch_min)
         self._max = np.maximum(self._max, batch_max)
+        # The degenerate-range guard is fit-invariant, so it is materialised
+        # here instead of on every transform call.
+        span = self._max - self._min
+        self._span = np.where(span > 1e-12, span, 1.0)
         self._fitted = True
         return self
 
@@ -70,10 +75,33 @@ class OnlineMinMaxScaler:
         if not self._fitted:
             raise RuntimeError("scaler must be fitted before transform")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        span = self._max - self._min
-        span = np.where(span > 1e-12, span, 1.0)
-        scaled = (X - self._min) / span
-        return np.clip(scaled, 0.0, 1.0)
+        scaled = X - self._min
+        scaled /= self._span
+        np.clip(scaled, 0.0, 1.0, out=scaled)
+        return scaled
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.partial_fit(X).transform(X)
+
+    def partial_fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fused :meth:`partial_fit` + :meth:`transform` for pre-shaped rows.
+
+        Assumes ``X`` is already a 2-D float64 array of the right width (the
+        detector's mini-batch buffer); skips the per-call validation and the
+        second pass over the dispatch machinery.
+        """
+        batch_min = X.min(axis=0)
+        batch_max = X.max(axis=0)
+        if self._fitted and self._forget > 0.0:
+            centre = (self._min + self._max) / 2.0
+            self._min += self._forget * (centre - self._min)
+            self._max += self._forget * (centre - self._max)
+        self._min = np.minimum(self._min, batch_min)
+        self._max = np.maximum(self._max, batch_max)
+        span = self._max - self._min
+        self._span = np.where(span > 1e-12, span, 1.0)
+        self._fitted = True
+        scaled = X - self._min
+        scaled /= self._span
+        np.clip(scaled, 0.0, 1.0, out=scaled)
+        return scaled

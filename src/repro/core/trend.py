@@ -7,12 +7,13 @@ sliding window.  The paper maintains the regression terms incrementally
 constant (Eq. 37 handles the ``t > W`` case).  :class:`TrendTracker`
 implements exactly this bookkeeping for a single monitored series; RBM-IM
 instantiates one tracker per class.
+
+The monitored values live in a flat ``float64`` buffer (compacted in blocks)
+so every slope is computed on a contiguous slice — no per-update
+deque-to-array conversion on the detector's hot path.
 """
 
 from __future__ import annotations
-
-from collections import deque
-from itertools import islice
 
 import numpy as np
 
@@ -52,10 +53,18 @@ class TrendTracker:
         # Values only: update times are consecutive integers by construction,
         # so the regression is computed on 0..n-1 offsets (the slope is
         # shift-invariant, and small offsets avoid the cancellation that raw
-        # timestamps cause in n*sum(t^2) - sum(t)^2).
-        self._history: deque[float] = deque(maxlen=max_window)
+        # timestamps cause in n*sum(t^2) - sum(t)^2).  The buffer holds twice
+        # the window so appends are O(1) between rare block compactions.
+        self._values = np.empty(2 * max_window, dtype=np.float64)
+        self._cursor = 0
+        self._arange = np.arange(max_window, dtype=np.float64)
+        # Row 0 of ones and row 1 of 0..W-1: one gemv against the window
+        # yields (sum_r, sum_tr) together instead of two separate reductions.
+        self._moment_rows = np.vstack(
+            (np.ones(max_window), np.arange(max_window, dtype=np.float64))
+        )
         self._time = 0
-        self._trend_history: deque[float] = deque(maxlen=max_window)
+        self._trend_history: list[float] = []
 
     # --------------------------------------------------------------- state
     @property
@@ -71,16 +80,26 @@ class TrendTracker:
     @property
     def trend_history(self) -> list[float]:
         """Trend (slope) values produced so far, most recent last."""
-        return list(self._trend_history)
+        return self._trend_history[-self._max_window :]
+
+    def trend_tail(self, k: int) -> list[float]:
+        """The most recent ``min(k, available)`` trend values (cheap slice)."""
+        return self._trend_history[-k:]
+
+    @property
+    def n_trends(self) -> int:
+        """Number of retained trend values (bounded by ``max_window``)."""
+        return min(len(self._trend_history), self._max_window)
 
     @property
     def value_history(self) -> list[float]:
         """Monitored values currently inside the (max) window."""
-        return list(self._history)
+        start = max(0, self._cursor - self._max_window)
+        return self._values[start : self._cursor].tolist()
 
     def reset(self) -> None:
         self._adwin.reset()
-        self._history.clear()
+        self._cursor = 0
         self._trend_history.clear()
         self._time = 0
 
@@ -94,21 +113,43 @@ class TrendTracker:
         ``min_window`` values have been observed.
         """
         self._time += 1
-        self._adwin.add_element(float(value))
-        self._history.append(float(value))
+        self._adwin.add_element(value)
+        cursor = self._cursor
+        if cursor == self._values.shape[0]:
+            # Block compaction: keep the last max_window values at the front.
+            keep = self._max_window
+            self._values[:keep] = self._values[cursor - keep : cursor]
+            cursor = keep
+        self._values[cursor] = value
+        cursor += 1
+        self._cursor = cursor
 
-        window = min(self.window_size, len(self._history))
-        recent = np.fromiter(
-            islice(self._history, len(self._history) - window, None),
-            dtype=np.float64,
-            count=window,
-        )
-        slope = self._slope(recent)
-        self._trend_history.append(slope)
+        # Inlined self.window_size / self._slope: this runs once per class
+        # per mini-batch, where attribute/property dispatch is measurable.
+        width = self._adwin._width
+        if width < self._min_window:
+            width = self._min_window
+        elif width > self._max_window:
+            width = self._max_window
+        n = width if width < cursor else cursor
+        if n < 2:
+            slope = 0.0
+        else:
+            values = self._values[cursor - n : cursor]
+            sum_t = n * (n - 1) // 2
+            sum_t2 = (n - 1) * n * (2 * n - 1) // 6
+            moments = self._moment_rows[:, :n] @ values
+            sum_r = float(moments[0])
+            sum_tr = float(moments[1])
+            denominator = n * sum_t2 - sum_t * sum_t
+            slope = (n * sum_tr - sum_t * sum_r) / denominator
+        history = self._trend_history
+        history.append(slope)
+        if len(history) >= 4 * self._max_window:
+            del history[: -self._max_window]
         return slope
 
-    @staticmethod
-    def _slope(values: np.ndarray) -> float:
+    def _slope(self, values: np.ndarray) -> float:
         """Least-squares slope ``Qr`` of Eq. 28 over the retained points.
 
         The regression abscissa is the 0-based offset inside the window
@@ -121,6 +162,6 @@ class TrendTracker:
         sum_t = n * (n - 1) // 2
         sum_t2 = (n - 1) * n * (2 * n - 1) // 6
         sum_r = float(values.sum())
-        sum_tr = float(np.arange(n) @ values)
+        sum_tr = float(self._arange[:n] @ values)
         denominator = n * sum_t2 - sum_t * sum_t
         return (n * sum_tr - sum_t * sum_r) / denominator

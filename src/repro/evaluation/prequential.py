@@ -12,11 +12,16 @@ Three execution modes are provided:
 
 * **instance mode** (``chunk_size=None``) — the classic loop, one
   :class:`~repro.streams.base.Instance` at a time;
-* **chunked exact mode** (``chunk_size=c``) — the stream is pulled in
-  vectorized chunks of ``c`` via :meth:`DataStream.generate_batch` (which is
-  bit-identical to per-instance generation) while classifier and detector are
-  still stepped per instance; detections and metrics are identical to
-  instance mode, only the per-instance stream overhead disappears;
+* **chunked exact mode** (``chunk_size=c``) — bit-identical results to
+  instance mode at chunk speed: the stream is pulled in vectorized chunks of
+  ``c`` via :meth:`DataStream.generate_batch` (bit-identical to per-instance
+  generation), the classifier chain runs through the bit-exact
+  ``predict_fit_interleaved`` kernel, the detector consumes chunks through
+  its chunk-exact ``step_batch``, and metrics fold in via ``update_batch``.
+  Chunks execute optimistically; a mid-chunk drift rolls the detector back
+  to a checkpoint and deterministically replays up to the drift row so the
+  rebuilt classifier scores the remaining rows, exactly like the instance
+  loop;
 * **chunked batch mode** (``chunk_size=c, batch_mode=True``) — test-then-train
   at chunk granularity: the whole chunk is scored with
   ``predict_proba_batch``, stepped through ``step_batch``, and trained with
@@ -33,6 +38,7 @@ Three execution modes are provided:
 
 from __future__ import annotations
 
+import copy
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,6 +60,19 @@ ClassifierFactory = Callable[[int, int], StreamClassifier]
 #: Recent (x, y) pairs replayed into a freshly built classifier after a
 #: drift-triggered reset.
 _Replay = Deque[tuple[np.ndarray, int]]
+
+
+def _extend_replay(replay: _Replay, rows: np.ndarray, labels: np.ndarray) -> None:
+    """Extend the bounded replay deque with ``(x, int(y))`` pairs.
+
+    The deque keeps only its last ``maxlen`` entries, so rows a large chunk
+    would immediately push out again are never materialised as tuples.
+    """
+    maxlen = replay.maxlen
+    if maxlen is not None and labels.shape[0] > maxlen:
+        rows = rows[-maxlen:]
+        labels = labels[-maxlen:]
+    replay.extend(zip(rows, labels.tolist()))
 
 
 @dataclass
@@ -257,24 +276,148 @@ class PrequentialRunner:
         chunk: int,
         state: "_RunState",
     ) -> None:
-        """Vectorized stream fetch, per-instance model/detector stepping.
+        """Vectorized chunk-exact mode: bit-identical to instance mode.
 
-        Produces results identical to instance mode: ``generate_batch`` is
-        bit-identical to repeated ``next_instance`` and every other operation
-        happens in the same order.
+        The per-instance recurrence only matters at two points — the
+        classifier's test-then-train chain and the detector's sequential
+        state — so everything else runs on whole chunks: the stream is pulled
+        via ``generate_batch`` (bit-identical to repeated ``next_instance``),
+        the classifier chain runs through ``predict_fit_interleaved`` (whose
+        contract is bit-equality with the per-row loop), the detector consumes
+        the chunk through its chunk-exact ``step_batch`` kernel, and the
+        metrics fold in via ``update_batch``.
+
+        Drift-triggered classifier rebuilds are the one interaction that can
+        invalidate a chunk mid-flight (rows after the drift must be rescored
+        by the rebuilt classifier, and the detector must see those new
+        predictions).  Chunks are therefore executed *optimistically*: the
+        detector state is checkpointed, the whole remaining chunk is scored
+        and stepped, and on the (rare) first drift flag the detector is rolled
+        back and deterministically replayed up to the drift row, after which
+        execution resumes behind the rebuilt classifier.  Detections, blamed
+        classes, metrics, and snapshots are all identical to instance mode.
         """
         produced = 0
+        pretrain = self._pretrain_size
         while produced < n_instances:
             features, labels = data_stream.generate_batch(
                 min(chunk, n_instances - produced)
             )
-            if labels.shape[0] == 0:
+            n_rows = int(labels.shape[0])
+            if n_rows == 0:
                 break
-            for i in range(labels.shape[0]):
-                self._step_one(
-                    features[i], int(labels[i]), produced + i, detector, state
+
+            offset = 0
+            if produced < pretrain:
+                # Pretrain rows never touch the detector or the metrics; the
+                # classifier chain stays scalar so its state is bit-identical.
+                offset = min(pretrain - produced, n_rows)
+                classifier = state.classifier
+                start = time.perf_counter()
+                for i in range(offset):
+                    classifier.partial_fit(features[i], int(labels[i]))
+                state.classifier_time += time.perf_counter() - start
+                state.warm_x.append(features[:offset])
+                state.warm_y.append(labels[:offset])
+                _extend_replay(state.replay, features[:offset], labels[:offset])
+            if (
+                produced + offset == pretrain
+                and offset < n_rows
+                and detector is not None
+                and not state.warm_started
+                and state.warm_x
+            ):
+                # Fires while processing the row at the pretrain boundary,
+                # exactly like the instance loop.
+                start = time.perf_counter()
+                detector.warm_start(
+                    np.vstack(state.warm_x), np.concatenate(state.warm_y)
                 )
-            produced += int(labels.shape[0])
+                state.detector_time += time.perf_counter() - start
+                state.warm_started = True
+
+            seg = offset
+            while seg < n_rows:
+                drift_row = self._advance_exact_segment(
+                    features[seg:], labels[seg:], produced + seg, detector, state
+                )
+                if drift_row < 0:
+                    break
+                seg += drift_row + 1
+            produced += n_rows
+
+    def _advance_exact_segment(
+        self,
+        seg_x: np.ndarray,
+        seg_y: np.ndarray,
+        seg_start: int,
+        detector: DriftDetector | None,
+        state: "_RunState",
+    ) -> int:
+        """Optimistically run one post-pretrain segment of a chunk.
+
+        Returns the in-segment row index of the first drift (after fully
+        handling it: detector replay, metrics, classifier rebuild, and the
+        drift row's train step), or ``-1`` when the whole segment completed
+        without drifting.
+        """
+        n_rows = seg_y.shape[0]
+        snapshot = None
+        if detector is not None and n_rows > 1:
+            try:
+                snapshot = copy.deepcopy(detector.__dict__)
+            except Exception:
+                # Unsnapshottable detector state: fall back to the scalar
+                # per-instance recurrence for the rest of this chunk.
+                for i in range(n_rows):
+                    self._step_one(
+                        seg_x[i], int(seg_y[i]), seg_start + i, detector, state
+                    )
+                return -1
+
+        start = time.perf_counter()
+        scores = state.classifier.predict_fit_interleaved(seg_x, seg_y)
+        state.classifier_time += time.perf_counter() - start
+        predictions = np.argmax(scores, axis=1).astype(np.int64)
+
+        if detector is None:
+            state.evaluator.update_batch(scores, seg_y, predictions)
+            _extend_replay(state.replay, seg_x, seg_y)
+            return -1
+
+        start = time.perf_counter()
+        flags = detector.step_batch(seg_x, seg_y, predictions)
+        state.detector_time += time.perf_counter() - start
+        drift_rows = np.flatnonzero(flags)
+        if drift_rows.shape[0] == 0:
+            state.evaluator.update_batch(scores, seg_y, predictions)
+            _extend_replay(state.replay, seg_x, seg_y)
+            return -1
+
+        # Only the first flag is trustworthy: rows after it were scored by
+        # the (about to be discarded) pre-drift classifier.
+        row = int(drift_rows[0])
+        if row != n_rows - 1:
+            detector.__dict__.clear()
+            detector.__dict__.update(snapshot)
+            start = time.perf_counter()
+            detector.step_batch(
+                seg_x[: row + 1], seg_y[: row + 1], predictions[: row + 1]
+            )
+            state.detector_time += time.perf_counter() - start
+        state.evaluator.update_batch(
+            scores[: row + 1], seg_y[: row + 1], predictions[: row + 1]
+        )
+        _extend_replay(state.replay, seg_x[: row + 1], seg_y[: row + 1])
+        state.detections.append(seg_start + row)
+        state.detected_classes.append(set(detector.drifted_classes or set()))
+        state.classifier = self._rebuild_classifier(
+            seg_x.shape[1], state.evaluator.n_classes, state.replay
+        )
+        start = time.perf_counter()
+        state.classifier.partial_fit(seg_x[row], int(seg_y[row]))
+        state.classifier_time += time.perf_counter() - start
+        return row
 
     def _run_batch_mode(
         self,
@@ -303,9 +446,7 @@ class PrequentialRunner:
                 state.classifier_time += time.perf_counter() - start
                 state.warm_x.append(features[:offset])
                 state.warm_y.append(labels[:offset])
-                state.replay.extend(
-                    zip(features[:offset], (int(v) for v in labels[:offset]))
-                )
+                _extend_replay(state.replay, features[:offset], labels[:offset])
             if (
                 produced + offset >= self._pretrain_size
                 and detector is not None
@@ -344,11 +485,10 @@ class PrequentialRunner:
                     last_drift_row = int(drift_rows[-1])
 
             if last_drift_row >= 0:
-                state.replay.extend(
-                    zip(
-                        chunk_x[: last_drift_row + 1],
-                        (int(v) for v in chunk_y[: last_drift_row + 1]),
-                    )
+                _extend_replay(
+                    state.replay,
+                    chunk_x[: last_drift_row + 1],
+                    chunk_y[: last_drift_row + 1],
                 )
                 state.classifier = self._rebuild_classifier(
                     data_stream.n_features, data_stream.n_classes, state.replay
@@ -362,7 +502,7 @@ class PrequentialRunner:
                 start = time.perf_counter()
                 state.classifier.partial_fit_batch(train_x, train_y)
                 state.classifier_time += time.perf_counter() - start
-                state.replay.extend(zip(train_x, (int(v) for v in train_y)))
+                _extend_replay(state.replay, train_x, train_y)
             produced += n_rows
 
     # ------------------------------------------------------------ internals
@@ -387,6 +527,7 @@ class PrequentialRunner:
         if (
             position == self._pretrain_size
             and detector is not None
+            and not state.warm_started
             and state.warm_x
         ):
             start = time.perf_counter()

@@ -35,7 +35,9 @@ class StreamingConfusionMatrix:
         self._n_classes = n_classes
         self._window_size = window_size
         self._matrix = np.zeros((n_classes, n_classes), dtype=np.float64)
-        self._window: deque[tuple[int, int]] | None = (
+        # The window stores flat cell codes ``y_true * n_classes + y_pred``
+        # (one int per prediction) so batch eviction reduces to a bincount.
+        self._window: deque[int] | None = (
             deque(maxlen=window_size) if window_size is not None else None
         )
         self._total = 0
@@ -68,12 +70,13 @@ class StreamingConfusionMatrix:
         y_true, y_pred = int(y_true), int(y_pred)
         if not (0 <= y_true < self._n_classes and 0 <= y_pred < self._n_classes):
             raise ValueError("label out of range")
+        flat = self._matrix.reshape(-1)
+        code = y_true * self._n_classes + y_pred
         if self._window is not None and len(self._window) == self._window.maxlen:
-            old_true, old_pred = self._window[0]
-            self._matrix[old_true, old_pred] -= 1.0
+            flat[self._window[0]] -= 1.0
         if self._window is not None:
-            self._window.append((y_true, y_pred))
-        self._matrix[y_true, y_pred] += 1.0
+            self._window.append(code)
+        flat[code] += 1.0
         self._total += 1
 
     def update_batch(self, y_true: np.ndarray, y_pred: np.ndarray) -> None:
@@ -86,24 +89,33 @@ class StreamingConfusionMatrix:
         for labels in (y_true, y_pred):
             if labels.min() < 0 or labels.max() >= self._n_classes:
                 raise ValueError("label out of range")
+        n_cells = self._n_classes * self._n_classes
+        codes = y_true * self._n_classes + y_pred
+        flat = self._matrix.reshape(-1)
         if self._window is not None:
-            # Appending n pairs to a deque of maxlen m keeps (old + new)[-m:];
-            # everything else must be subtracted from the matrix.
+            # Appending n codes to a deque of maxlen m keeps (old + new)[-m:];
+            # everything else must be subtracted from the matrix.  Cell counts
+            # are small integers, so folding a whole bincount in at once is
+            # bit-identical to n repeated +/- 1.0 updates.
             maxlen = self._window.maxlen or 0
+            if n >= maxlen:
+                # The batch alone fills the window: everything previously
+                # tracked is evicted, so rebuild from the batch tail.
+                tail = codes[n - maxlen :]
+                self._window.clear()
+                self._window.extend(tail.tolist())
+                flat[:] = np.bincount(tail, minlength=n_cells)
+                self._total += n
+                return
             n_evicted = max(0, len(self._window) + n - maxlen)
             from_old = min(n_evicted, len(self._window))
             for _ in range(from_old):
-                old_true, old_pred = self._window.popleft()
-                self._matrix[old_true, old_pred] -= 1.0
+                flat[self._window.popleft()] -= 1.0
             evicted_new = n_evicted - from_old
-            self._window.extend(zip(y_true.tolist(), y_pred.tolist()))
+            self._window.extend(codes.tolist())
             if evicted_new > 0:
-                np.subtract.at(
-                    self._matrix,
-                    (y_true[:evicted_new], y_pred[:evicted_new]),
-                    1.0,
-                )
-        np.add.at(self._matrix, (y_true, y_pred), 1.0)
+                flat -= np.bincount(codes[:evicted_new], minlength=n_cells)
+        flat += np.bincount(codes, minlength=n_cells)
         self._total += n
 
     # ------------------------------------------------------------- derived

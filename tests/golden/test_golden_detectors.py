@@ -40,19 +40,21 @@ from repro.streams.scenarios import make_artificial_stream
 GOLDEN_DIR = Path(__file__).parent
 
 #: Frozen input parameters.  Changing ANY of these invalidates every golden
-#: file; bump only together with --regen-golden.  Chosen so that every
-#: detector except PerfSim fires at least once on this input (PerfSim's
-#: batch-wise performance-similarity test stays silent on uniformly-flipped
-#: synthetic errors at this scale) — an all-empty pin would be a vacuous
-#: regression guard.  Re-tuned for the schedule-engine stream realizations.
+#: file; bump only together with --regen-golden.  Chosen so that EVERY
+#: detector fires at least once on this input: the post-drift errors are
+#: structurally biased (each drift collapses misclassifications onto one
+#: fixed class offset) so that shape-sensitive detectors like PerfSim — which
+#: compares consecutive confusion matrices and is blind to uniformly-spread
+#: error-rate jumps — pin a non-trivial detection sequence too.  An all-empty
+#: pin would be a vacuous regression guard.
 STREAM_SEED = 99
 PREDICTION_SEED = 20260729
 N_INSTANCES = 4_000
 N_CLASSES = 5
 WARMUP = 200
 BASE_ERROR = 0.15
-DRIFT_ERROR = 0.55
-ERROR_RAMP = 600
+DRIFT_ERROR = 0.85
+ERROR_RAMP = 900
 
 DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
 
@@ -80,6 +82,12 @@ def golden_input():
     rng = np.random.default_rng(PREDICTION_SEED)
     is_error = rng.random(N_INSTANCES) < error_probability
     offsets = rng.integers(1, N_CLASSES, size=N_INSTANCES)
+    # Structural bias: inside each post-drift ramp every misclassification
+    # lands on one drift-specific class offset, so the *shape* of the
+    # confusion matrix changes at drifts, not just the error rate.
+    for index, drift in enumerate(scenario.drift_points):
+        end = min(N_INSTANCES, drift + ERROR_RAMP)
+        offsets[drift:end] = 1 + index % (N_CLASSES - 1)
     predictions = np.where(is_error, (labels + offsets) % N_CLASSES, labels)
 
     meta = {
@@ -89,6 +97,7 @@ def golden_input():
         "n_instances": N_INSTANCES,
         "n_classes": N_CLASSES,
         "warmup": WARMUP,
+        "error_bias": "fixed-offset-post-drift",
         "drift_points": list(scenario.drift_points),
     }
     return features, labels.astype(np.int64), predictions.astype(np.int64), meta

@@ -110,3 +110,43 @@ def test_step_batch_matches_step_loop(name: str):
         _assert_chunk_exact(name, *_materialise(*stream))
 
     run()
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=error_streams())
+def test_rbm_im_batched_path_bit_identical(stream):
+    """The vectorized RBM-IM hot path is bit-exact, not just flag-exact.
+
+    Beyond the flag/detection parity of the generic property above, the
+    learned RBM parameters and the per-class reconstruction-error scores
+    after any chunking must equal the per-instance run bit for bit — the
+    minibatch CD-k matrix ops, packed reconstruction scoring, and block
+    buffer fills must not reorder a single float operation.
+    """
+    features, labels, predictions, sizes = _materialise(*stream)
+    n = labels.shape[0]
+    loop_detector = build_detector("RBM-IM", N_FEATURES, N_CLASSES)
+    batch_detector = build_detector("RBM-IM", N_FEATURES, N_CLASSES)
+
+    for i in range(n):
+        loop_detector.step(features[i], int(labels[i]), int(predictions[i]))
+    start = 0
+    for size in sizes:
+        batch_detector.step_batch(
+            features[start : start + size],
+            labels[start : start + size],
+            predictions[start : start + size],
+        )
+        start += size
+
+    loop_weights = loop_detector.rbm.weights
+    batch_weights = batch_detector.rbm.weights
+    assert loop_weights.keys() == batch_weights.keys()
+    for key in loop_weights:
+        np.testing.assert_array_equal(loop_weights[key], batch_weights[key])
+    np.testing.assert_array_equal(
+        loop_detector.last_per_class_errors, batch_detector.last_per_class_errors
+    )
+    assert loop_detector.batches_processed == batch_detector.batches_processed
+    assert loop_detector.detections == batch_detector.detections
+    assert loop_detector.detection_classes == batch_detector.detection_classes
