@@ -24,7 +24,13 @@ from __future__ import annotations
 import json
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    wait,
+)
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -44,6 +50,12 @@ __all__ = [
     "cell_record",
     "run_cell_tasks",
 ]
+
+#: Times a cell may be caught in a broken pool before it is written off.
+#: A crashing worker (OOM kill, native segfault) breaks *every* future
+#: sharing the pool, so innocent queued cells legitimately see one or two
+#: broken pools before they get a clean run of their own.
+_MAX_BROKEN_RETRIES = 2
 
 #: Builds the stream for one cell: ``(seed) -> ScenarioStream | DataStream``.
 StreamFactory = Callable[[int], "ScenarioStream | DataStream"]
@@ -249,6 +261,15 @@ def run_cell_tasks(
     picklable), ``"thread"``, or ``"serial"``.  ``progress`` is invoked with
     every finished cell, in completion order; worker crashes surface as failed
     :class:`GridCellResult`\\ s rather than exceptions.
+
+    A worker death (OOM kill, segfault) breaks the whole process pool: every
+    pending future — including cells that never got to run — fails with
+    :class:`~concurrent.futures.BrokenExecutor`.  Those cells are resubmitted
+    on a fresh executor rather than written off, up to
+    ``_MAX_BROKEN_RETRIES`` broken pools per cell; repeat offenders are
+    resubmitted last so queued innocents drain before the likely culprit can
+    break the next pool.  Only the cells still caught in a broken pool after
+    the retry budget are recorded as per-cell failures.
     """
     if backend not in ("process", "thread", "serial"):
         raise ValueError(f"unknown backend {backend!r}")
@@ -266,19 +287,46 @@ def run_cell_tasks(
         return results
 
     executor = _make_executor(backend, max_workers)
+    futures: dict[Future, int] = {}
+    broken_counts: dict[int, int] = {}
+
+    def submit(index: int) -> Future:
+        nonlocal executor
+        try:
+            future = executor.submit(_execute_cell, *tasks[index].args())
+        except BrokenExecutor:
+            # The pool died since the last submit; replace it.
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = _make_executor(backend, max_workers)
+            future = executor.submit(_execute_cell, *tasks[index].args())
+        futures[future] = index
+        return future
+
     try:
-        futures: dict[Future, int] = {}
-        for index, task in enumerate(tasks):
-            futures[executor.submit(_execute_cell, *task.args())] = index
         by_index: dict[int, GridCellResult] = {}
-        pending = set(futures)
+        pending = {submit(index) for index in range(len(tasks))}
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            retry: list[int] = []
             for future in done:
-                index = futures[future]
+                index = futures.pop(future)
                 try:
                     cell_result = future.result()
-                except Exception:  # worker crashed (e.g. OOM-kill)
+                except BrokenExecutor:
+                    # A worker death poisons every future sharing the pool;
+                    # give this cell a fresh pool unless it keeps being
+                    # caught in (or causing) the crashes.
+                    broken_counts[index] = broken_counts.get(index, 0) + 1
+                    if broken_counts[index] <= _MAX_BROKEN_RETRIES:
+                        retry.append(index)
+                        continue
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
+                    )
+                except Exception:  # worker raised through the future
                     cell_result = GridCellResult(
                         cell=tasks[index].cell,
                         result=None,
@@ -288,6 +336,11 @@ def run_cell_tasks(
                 by_index[index] = cell_result
                 if progress is not None:
                     progress(cell_result)
+            # Repeat offenders last: cells that already saw several broken
+            # pools are the likeliest crashers, so queued innocents drain
+            # first on the replacement pool.
+            for index in sorted(retry, key=lambda i: (broken_counts[i], i)):
+                pending.add(submit(index))
     except BaseException:
         # On Ctrl-C (or a raising progress callback) drop the queued cells
         # instead of draining them; in-flight cells still finish.

@@ -1,0 +1,102 @@
+"""Fleet engine: thousands of independent detectors stepped as one.
+
+The batch kernels of :mod:`repro.detectors` vectorize along time within a
+single stream; this package vectorizes *across streams*.  A fleet holds N
+independent detector instances — one per monitored stream — and advances any
+ragged subset of them per tick through ``step_fleet(stream_ids, values)``,
+with output bit-identical to N scalar detectors stepped one element at a
+time (see :mod:`repro.fleet.state` for the contract).
+
+Two implementations share the interface:
+
+* native struct-of-arrays kernels (:mod:`repro.fleet.kernels`) for the
+  sum/bound family — DDM, RDDM, ECDD, PH, FHDDM, HDDM-A — one vectorized
+  update per round regardless of fleet size;
+* the loop-of-scalars adapter (:mod:`repro.fleet.adapter`) for the rest of
+  the zoo, routing each lane's elements through the scalar detectors'
+  chunk-exact batch entry points.
+
+:func:`make_fleet` picks the right one by registry name.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.adapter import ScalarDetectorFleet
+from repro.fleet.kernels import (
+    DDMStateArray,
+    ECDDStateArray,
+    FHDDMStateArray,
+    HDDMAStateArray,
+    PageHinkleyStateArray,
+    RDDMStateArray,
+)
+from repro.fleet.state import DetectorStateArray, iter_rounds
+
+__all__ = [
+    "DetectorStateArray",
+    "ScalarDetectorFleet",
+    "DDMStateArray",
+    "RDDMStateArray",
+    "ECDDStateArray",
+    "PageHinkleyStateArray",
+    "FHDDMStateArray",
+    "HDDMAStateArray",
+    "FLEET_NATIVE",
+    "iter_rounds",
+    "make_fleet",
+    "fleet_from_template",
+]
+
+#: Registry names with a native struct-of-arrays kernel.
+FLEET_NATIVE = {
+    "DDM": DDMStateArray,
+    "RDDM": RDDMStateArray,
+    "ECDD": ECDDStateArray,
+    "PH": PageHinkleyStateArray,
+    "FHDDM": FHDDMStateArray,
+    "HDDM-A": HDDMAStateArray,
+}
+
+_NATIVE_BY_TYPE = {
+    kernel.scalar_detector: kernel for kernel in FLEET_NATIVE.values()
+}
+
+
+def make_fleet(
+    name: str,
+    n_streams: int,
+    *,
+    n_features: int = 2,
+    n_classes: int = 2,
+):
+    """Build a fleet of ``n_streams`` detectors by registry name.
+
+    Names in :data:`FLEET_NATIVE` get the struct-of-arrays kernel seeded from
+    the registry's paper configuration; every other registry detector gets a
+    :class:`ScalarDetectorFleet` of independent instances.  ``n_features`` /
+    ``n_classes`` only matter for the class-conditional and instance
+    detectors, mirroring :func:`repro.protocol.registry.build_detector`.
+    """
+    from repro.protocol.registry import build_detector
+
+    if name == "none":
+        raise ValueError("'none' is not a detector; no fleet to build")
+    native = FLEET_NATIVE.get(name)
+    if native is not None:
+        template = build_detector(name, n_features, n_classes)
+        return native.from_detector(template, n_streams)
+    detectors = [
+        build_detector(name, n_features, n_classes) for _ in range(n_streams)
+    ]
+    return ScalarDetectorFleet(detectors)
+
+
+def fleet_from_template(detector, n_streams: int):
+    """Replicate a configured sum-family scalar detector across N lanes."""
+    kernel = _NATIVE_BY_TYPE.get(type(detector))
+    if kernel is None:
+        raise TypeError(
+            f"{type(detector).__name__} has no native fleet kernel; "
+            "wrap N instances in ScalarDetectorFleet instead"
+        )
+    return kernel.from_detector(detector, n_streams)

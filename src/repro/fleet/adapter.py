@@ -1,0 +1,136 @@
+"""Loop-of-scalars fleet adapter covering the whole detector zoo.
+
+Detectors whose state does not reduce to running sums and tracked extrema
+(ADWIN's bucket compression, WSTD's rank test, HDDM-W's EWMA pair, the
+class-conditional and instance families) still benefit from the fleet
+interface: :class:`ScalarDetectorFleet` wraps N independent scalar detector
+instances behind the same ragged-batch ``step_fleet`` contract as the native
+:class:`~repro.fleet.state.DetectorStateArray` kernels.
+
+Per tick it groups the elements of each lane (preserving their input order)
+and hands each group to the lane detector's chunk-exact batch entry point —
+``step_values`` for error-rate detectors, ``step_batch`` for the
+class-conditional and instance families — so the output is bit-identical to
+stepping each scalar detector element by element, which is exactly the
+native kernels' contract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.detectors.base import (
+    ClassConditionalDetector,
+    DriftDetector,
+    ErrorRateDetector,
+)
+
+__all__ = ["ScalarDetectorFleet"]
+
+
+class ScalarDetectorFleet:
+    """N scalar detectors behind the fleet's ragged-batch interface.
+
+    ``values`` layout per detector family (k = elements in the tick):
+
+    * error-rate detectors — shape ``(k,)``, the monitored signal exactly as
+      ``add_element`` would receive it;
+    * class-conditional detectors — shape ``(k, 2)`` integer-valued columns
+      ``(y_true, y_pred)``;
+    * instance detectors — shape ``(k, n_features + 2)`` rows
+      ``[x_0 .. x_{f-1}, y_true, y_pred]``.
+    """
+
+    def __init__(self, detectors: Sequence[DriftDetector]) -> None:
+        self._detectors = list(detectors)
+        if not self._detectors:
+            raise ValueError("need at least one detector")
+
+    # ------------------------------------------------------------------ API
+    @property
+    def n_streams(self) -> int:
+        return len(self._detectors)
+
+    @property
+    def detectors(self) -> list[DriftDetector]:
+        """The underlying scalar detectors (lane order)."""
+        return list(self._detectors)
+
+    @property
+    def in_drift(self) -> np.ndarray:
+        return np.array([d.in_drift for d in self._detectors], dtype=bool)
+
+    @property
+    def in_warning(self) -> np.ndarray:
+        return np.array([d.in_warning for d in self._detectors], dtype=bool)
+
+    @property
+    def n_observations(self) -> np.ndarray:
+        return np.array(
+            [d.n_observations for d in self._detectors], dtype=np.int64
+        )
+
+    def detections(self, lane: int) -> list[int]:
+        return list(self._detectors[lane].detections)
+
+    def lane_state(self, lane: int) -> dict:
+        return {}
+
+    # ------------------------------------------------------------- stepping
+    def step_fleet(
+        self, stream_ids: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Consume one ragged tick; return per-element drift flags."""
+        stream_ids = np.asarray(stream_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if stream_ids.ndim != 1 or values.shape[:1] != stream_ids.shape:
+            raise ValueError("stream_ids and values must be aligned on axis 0")
+        if values.ndim not in (1, 2):
+            raise ValueError("values must be 1-D or 2-D")
+        k = stream_ids.shape[0]
+        flags = np.zeros(k, dtype=bool)
+        if k == 0:
+            return flags
+        if stream_ids.min() < 0 or stream_ids.max() >= self.n_streams:
+            raise ValueError(f"stream_ids must lie in [0, {self.n_streams})")
+        # Stable sort keeps each lane's elements in input order.
+        order = np.argsort(stream_ids, kind="stable")
+        sorted_ids = stream_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        for positions in np.split(order, boundaries):
+            lane = int(stream_ids[positions[0]])
+            flags[positions] = self._step_lane(
+                self._detectors[lane], values[positions]
+            )
+        return flags
+
+    @staticmethod
+    def _step_lane(detector: DriftDetector, vals: np.ndarray) -> np.ndarray:
+        if isinstance(detector, ErrorRateDetector):
+            if vals.ndim != 1:
+                raise ValueError(
+                    "error-rate detectors take 1-D monitored values"
+                )
+            return detector.step_values(vals)
+        if isinstance(detector, ClassConditionalDetector):
+            if vals.ndim != 2 or vals.shape[1] != 2:
+                raise ValueError(
+                    "class-conditional detectors take (k, 2) label pairs"
+                )
+            return detector.step_batch(
+                None,
+                vals[:, 0].astype(np.int64),
+                vals[:, 1].astype(np.int64),
+            )
+        if vals.ndim != 2 or vals.shape[1] < 3:
+            raise ValueError(
+                "instance detectors take (k, n_features + 2) rows "
+                "[features..., y_true, y_pred]"
+            )
+        return detector.step_batch(
+            vals[:, :-2],
+            vals[:, -2].astype(np.int64),
+            vals[:, -1].astype(np.int64),
+        )

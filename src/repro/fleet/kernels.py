@@ -1,0 +1,471 @@
+"""Native struct-of-arrays kernels for the sum/bound detector family.
+
+Each class here is the fleet transpose of one scalar detector: the scalar
+instance attributes become arrays with the stream (lane) as the leading axis,
+and one ``_update_lanes`` call applies the scalar ``add_element`` recurrence
+to every lane of a round element-wise.  The covered family — DDM, RDDM,
+ECDD, Page-Hinkley, FHDDM, HDDM-A — is exactly the detectors whose per-step
+state is running sums, tracked prefix extrema, ring-window rolling counts,
+and Hoeffding-style bounds, all of which vectorize across lanes without any
+sequential dependency between streams.
+
+Bit-exactness discipline (see :mod:`repro.fleet.state`): every expression
+keeps the shape of its scalar twin so each float64 operation rounds
+identically, reference-statistic updates happen *before* the tests exactly as
+in the scalar code, and drift-triggered concept resets clear the same state
+the scalar ``_reset_concept`` does.  Where a scalar detector owns an
+array-friendly helper (ECDD's ``_limits``, HDDM-A's ``_mean_test``) the
+kernel calls that very helper, sharing the arithmetic instead of copying it.
+
+Rare, inherently per-lane events — RDDM's prune-and-rebuild, which fires once
+per ``max_concept_size`` elements per lane — drop to a per-lane replay built
+on the same :mod:`repro.core.windows` helpers the scalar rebuild uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.windows import (
+    StackedRingWindow,
+    hoeffding_bound,
+    running_totals,
+    tracked_weak_min,
+)
+from repro.detectors import DDM, ECDDWT, FHDDM, HDDM_A, RDDM, PageHinkley
+from repro.fleet.state import DetectorStateArray
+
+__all__ = [
+    "DDMStateArray",
+    "RDDMStateArray",
+    "ECDDStateArray",
+    "PageHinkleyStateArray",
+    "FHDDMStateArray",
+    "HDDMAStateArray",
+]
+
+
+class _SumFamilyStateArray(DetectorStateArray):
+    """Shared plumbing: construct from params via a validated scalar template."""
+
+    #: The scalar detector class this kernel transposes.
+    scalar_detector: type
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams)
+        self._template = self.scalar_detector(**params)
+
+    @classmethod
+    def from_detector(cls, detector, n_streams: int):
+        """Replicate a configured scalar detector across ``n_streams`` lanes."""
+        if not isinstance(detector, cls.scalar_detector):
+            raise TypeError(
+                f"{cls.__name__} transposes {cls.scalar_detector.__name__}, "
+                f"got {type(detector).__name__}"
+            )
+        return cls(n_streams, **detector.clone_params())
+
+
+# ------------------------------------------------------------------------ DDM
+class DDMStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.DDM`."""
+
+    scalar_detector = DDM
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._min_num_instances = template._min_num_instances
+        self._warning_level = template._warning_level
+        self._drift_level = template._drift_level
+        self._sample_count = np.zeros(n_streams, dtype=np.int64)
+        self._error_sum = np.zeros(n_streams, dtype=np.float64)
+        self._p_min = np.full(n_streams, np.inf)
+        self._s_min = np.full(n_streams, np.inf)
+        self._ps_min = np.full(n_streams, np.inf)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_sample_count": int(self._sample_count[lane]),
+            "_error_sum": float(self._error_sum[lane]),
+            "_p_min": float(self._p_min[lane]),
+            "_s_min": float(self._s_min[lane]),
+            "_ps_min": float(self._ps_min[lane]),
+        }
+
+    def _update_lanes(self, lanes, values):
+        error = np.where(values > 0.5, 1.0, 0.0)
+        count = self._sample_count[lanes] + 1
+        self._sample_count[lanes] = count
+        error_sum = self._error_sum[lanes] + error
+        self._error_sum[lanes] = error_sum
+        p = error_sum / count
+        s = np.sqrt(p * (1.0 - p) / count)
+        ps = p + s
+        active = (count >= self._min_num_instances) & (p > 0.0)
+        improved = active & (ps <= self._ps_min[lanes])
+        updated = lanes[improved]
+        self._p_min[updated] = p[improved]
+        self._s_min[updated] = s[improved]
+        self._ps_min[updated] = ps[improved]
+        p_min = self._p_min[lanes]
+        s_min = self._s_min[lanes]
+        drift = active & (ps >= p_min + self._drift_level * s_min)
+        warning = active & ~drift & (ps >= p_min + self._warning_level * s_min)
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._sample_count[hit] = 0
+            self._error_sum[hit] = 0.0
+            self._p_min[hit] = np.inf
+            self._s_min[hit] = np.inf
+            self._ps_min[hit] = np.inf
+        return drift, warning
+
+
+# ----------------------------------------------------------------------- RDDM
+class RDDMStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.RDDM`.
+
+    The scalar detector logs up to ``max_concept_size`` errors but its
+    prune-triggered rebuild only ever reads the most recent
+    ``min_size_stable_concept`` of them, so the fleet stores exactly that
+    tail per lane in a :class:`~repro.core.windows.StackedRingWindow` —
+    value-identical rebuilds at a fraction of the memory.
+    """
+
+    scalar_detector = RDDM
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._min_num_instances = template._min_num_instances
+        self._warning_level = template._warning_level
+        self._drift_level = template._drift_level
+        self._max_concept_size = template._max_concept_size
+        self._min_size_stable = template._min_size_stable
+        self._warning_limit = template._warning_limit
+        self._sample_count = np.zeros(n_streams, dtype=np.int64)
+        self._error_sum = np.zeros(n_streams, dtype=np.float64)
+        self._p_min = np.full(n_streams, np.inf)
+        self._s_min = np.full(n_streams, np.inf)
+        self._ps_min = np.full(n_streams, np.inf)
+        self._warning_count = np.zeros(n_streams, dtype=np.int64)
+        self._storage = StackedRingWindow(n_streams, self._min_size_stable)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_sample_count": int(self._sample_count[lane]),
+            "_error_sum": float(self._error_sum[lane]),
+            "_p_min": float(self._p_min[lane]),
+            "_s_min": float(self._s_min[lane]),
+            "_ps_min": float(self._ps_min[lane]),
+            "_warning_count": int(self._warning_count[lane]),
+            "stored_tail": self._storage.values_at(lane).tolist(),
+        }
+
+    def _update_lanes(self, lanes, values):
+        error = np.where(values > 0.5, 1.0, 0.0)
+        self._storage.append_at(lanes, error)
+        count = self._sample_count[lanes] + 1
+        self._sample_count[lanes] = count
+        error_sum = self._error_sum[lanes] + error
+        self._error_sum[lanes] = error_sum
+        # _ingest: weak-minimum reference update on the fresh statistics.
+        p = error_sum / count
+        s = np.sqrt(p * (1.0 - p) / count)
+        improved = (
+            (count >= self._min_num_instances)
+            & (p > 0.0)
+            & (p + s <= self._ps_min[lanes])
+        )
+        updated = lanes[improved]
+        self._p_min[updated] = p[improved]
+        self._s_min[updated] = s[improved]
+        self._ps_min[updated] = (p + s)[improved]
+        # Pruning fires once per max_concept_size elements per lane; replay
+        # the rebuild per lane on the shared windows-core helpers.
+        for lane in lanes[count > self._max_concept_size]:
+            self._rebuild_lane(int(lane))
+        # _test_current over the (possibly rebuilt) state.
+        count = self._sample_count[lanes]
+        error_sum = self._error_sum[lanes]
+        p = error_sum / count
+        s = np.sqrt(p * (1.0 - p) / count)
+        ps = p + s
+        p_min = self._p_min[lanes]
+        s_min = self._s_min[lanes]
+        tested = (
+            (count >= self._min_num_instances)
+            & (p > 0.0)
+            & np.isfinite(self._ps_min[lanes])
+        )
+        drift = tested & (ps >= p_min + self._drift_level * s_min)
+        warn = tested & ~drift & (ps >= p_min + self._warning_level * s_min)
+        bumped = self._warning_count[lanes] + 1
+        forced = warn & (bumped >= self._warning_limit)
+        self._warning_count[lanes[warn]] = bumped[warn]
+        self._warning_count[lanes[tested & ~drift & ~warn]] = 0
+        drift = drift | forced
+        warning = warn & ~forced
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._sample_count[hit] = 0
+            self._error_sum[hit] = 0.0
+            self._p_min[hit] = np.inf
+            self._s_min[hit] = np.inf
+            self._ps_min[hit] = np.inf
+            self._warning_count[hit] = 0
+            self._storage.clear_lanes(hit)
+        return drift, warning
+
+    def _rebuild_lane(self, lane: int) -> None:
+        """Scalar ``_rebuild_from_recent`` for one lane (value-identical)."""
+        recent = self._storage.values_at(lane)
+        self._sample_count[lane] = 0
+        self._error_sum[lane] = 0.0
+        self._p_min[lane] = np.inf
+        self._s_min[lane] = np.inf
+        self._ps_min[lane] = np.inf
+        self._warning_count[lane] = 0
+        n = recent.shape[0]
+        if n == 0:
+            return
+        counts = np.arange(1, n + 1, dtype=np.int64)
+        sums = running_totals(recent)
+        p = sums / counts
+        s = np.sqrt(p * (1.0 - p) / counts)
+        active = (counts >= self._min_num_instances) & (sums > 0.0)
+        self._sample_count[lane] = n
+        self._error_sum[lane] = float(sums[-1])
+        if active.any():
+            first = int(np.argmax(active))
+            tracked = tracked_weak_min((p + s)[first:], math.inf)
+            last = int(tracked[-1])
+            if last >= 0:
+                self._p_min[lane] = float(p[first + last])
+                self._s_min[lane] = float(s[first + last])
+                self._ps_min[lane] = float((p + s)[first + last])
+
+
+# ----------------------------------------------------------------------- ECDD
+class ECDDStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.ECDDWT` (EWMA chart)."""
+
+    scalar_detector = ECDDWT
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._lambda = template._lambda
+        self._warning_fraction = template._warning_fraction
+        self._min_instances = template._min_instances
+        self._count = np.zeros(n_streams, dtype=np.int64)
+        self._error_sum = np.zeros(n_streams, dtype=np.float64)
+        self._ewma = np.zeros(n_streams, dtype=np.float64)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_count": int(self._count[lane]),
+            "_error_sum": float(self._error_sum[lane]),
+            "_ewma": float(self._ewma[lane]),
+        }
+
+    def _update_lanes(self, lanes, values):
+        error = np.where(values > 0.5, 1.0, 0.0)
+        count = self._count[lanes] + 1
+        self._count[lanes] = count
+        error_sum = self._error_sum[lanes] + error
+        self._error_sum[lanes] = error_sum
+        ewma = (1.0 - self._lambda) * self._ewma[lanes] + self._lambda * error
+        self._ewma[lanes] = ewma
+        active = count >= self._min_instances
+        # Same helper the scalar path calls, so the arithmetic is shared.
+        p, limit = self._template._limits(count, error_sum)
+        diff = ewma - p
+        drift = active & (diff > limit)
+        warning = active & ~drift & (diff > self._warning_fraction * limit)
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._count[hit] = 0
+            self._error_sum[hit] = 0.0
+            self._ewma[hit] = 0.0
+        return drift, warning
+
+
+# --------------------------------------------------------------- Page-Hinkley
+class PageHinkleyStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.PageHinkley`."""
+
+    scalar_detector = PageHinkley
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._min_instances = template._min_instances
+        self._delta = template._delta
+        self._threshold = template._threshold
+        self._alpha = template._alpha
+        self._count = np.zeros(n_streams, dtype=np.int64)
+        self._value_sum = np.zeros(n_streams, dtype=np.float64)
+        self._cumulative = np.zeros(n_streams, dtype=np.float64)
+        self._minimum = np.full(n_streams, np.inf)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_count": int(self._count[lane]),
+            "_value_sum": float(self._value_sum[lane]),
+            "_cumulative": float(self._cumulative[lane]),
+            "_minimum": float(self._minimum[lane]),
+        }
+
+    def _update_lanes(self, lanes, values):
+        count = self._count[lanes] + 1
+        self._count[lanes] = count
+        value_sum = self._value_sum[lanes] + values
+        self._value_sum[lanes] = value_sum
+        mean = value_sum / count
+        cumulative = (
+            self._cumulative[lanes] * self._alpha + values - mean - self._delta
+        )
+        self._cumulative[lanes] = cumulative
+        minimum = np.minimum(self._minimum[lanes], cumulative)
+        self._minimum[lanes] = minimum
+        active = count >= self._min_instances
+        drift = active & (cumulative - minimum > self._threshold)
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._count[hit] = 0
+            self._value_sum[hit] = 0.0
+            self._cumulative[hit] = 0.0
+            self._minimum[hit] = np.inf
+        return drift, np.zeros(lanes.shape[0], dtype=bool)
+
+
+# --------------------------------------------------------------------- FHDDM
+class FHDDMStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.FHDDM`.
+
+    The per-lane correctness windows live in one
+    :class:`~repro.core.windows.StackedRingWindow`, whose maintained rolling
+    sums follow the scalar :class:`~repro.core.windows.RingWindow` updates
+    bit-for-bit.
+    """
+
+    scalar_detector = FHDDM
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._window_size = template._window_size
+        self._epsilon = template._epsilon
+        self._window = StackedRingWindow(n_streams, self._window_size)
+        self._p_max = np.zeros(n_streams, dtype=np.float64)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_p_max": float(self._p_max[lane]),
+            "window_values": self._window.values_at(lane).tolist(),
+            "window_sum": float(self._window.sums[lane]),
+        }
+
+    def _update_lanes(self, lanes, values):
+        correct = np.where(values > 0.5, 0.0, 1.0)
+        self._window.append_at(lanes, correct)
+        full = self._window.sizes[lanes] == self._window_size
+        p_current = self._window.sums[lanes] / self._window_size
+        improved = full & (p_current > self._p_max[lanes])
+        updated = lanes[improved]
+        self._p_max[updated] = p_current[improved]
+        drift = full & (self._p_max[lanes] - p_current > self._epsilon)
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._window.clear_lanes(hit)
+            self._p_max[hit] = 0.0
+        return drift, np.zeros(lanes.shape[0], dtype=bool)
+
+
+# --------------------------------------------------------------------- HDDM-A
+class HDDMAStateArray(_SumFamilyStateArray):
+    """Fleet kernel for :class:`repro.detectors.HDDM_A`."""
+
+    scalar_detector = HDDM_A
+
+    def __init__(self, n_streams: int, **params) -> None:
+        super().__init__(n_streams, **params)
+        template = self._template
+        self._drift_confidence = template._drift_confidence
+        self._warning_confidence = template._warning_confidence
+        self._two_sided = template._two_sided
+        self._n_total = np.zeros(n_streams, dtype=np.float64)
+        self._sum_total = np.zeros(n_streams, dtype=np.float64)
+        self._n_min = np.zeros(n_streams, dtype=np.float64)
+        self._sum_min = np.zeros(n_streams, dtype=np.float64)
+        self._n_max = np.zeros(n_streams, dtype=np.float64)
+        self._sum_max = np.zeros(n_streams, dtype=np.float64)
+
+    def lane_state(self, lane: int) -> dict:
+        return {
+            "_n_total": float(self._n_total[lane]),
+            "_sum_total": float(self._sum_total[lane]),
+            "_n_min": float(self._n_min[lane]),
+            "_sum_min": float(self._sum_min[lane]),
+            "_n_max": float(self._n_max[lane]),
+            "_sum_max": float(self._sum_max[lane]),
+        }
+
+    def _update_lanes(self, lanes, values):
+        confidence = self._drift_confidence
+        n = self._n_total[lanes] + 1.0
+        self._n_total[lanes] = n
+        s = self._sum_total[lanes] + values
+        self._sum_total[lanes] = s
+        current_bound = hoeffding_bound(n, confidence)
+        # Reference snapshots: a zero-count reference is seeded with the
+        # current totals, otherwise the weak bound-adjusted extremum update
+        # runs — exactly the scalar branch structure, element-wise.
+        n_min = self._n_min[lanes]
+        s_min = self._sum_min[lanes]
+        min_bound = hoeffding_bound(n_min, confidence)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            take_min = (n_min == 0.0) | (
+                s / n + current_bound <= s_min / n_min + min_bound
+            )
+        updated = lanes[take_min]
+        self._n_min[updated] = n[take_min]
+        self._sum_min[updated] = s[take_min]
+        n_max = self._n_max[lanes]
+        s_max = self._sum_max[lanes]
+        max_bound = hoeffding_bound(n_max, confidence)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            take_max = (n_max == 0.0) | (
+                s / n - current_bound >= s_max / n_max - max_bound
+            )
+        updated = lanes[take_max]
+        self._n_max[updated] = n[take_max]
+        self._sum_max[updated] = s[take_max]
+        # Tests run against the just-updated references (scalar order).
+        n_min = self._n_min[lanes]
+        s_min = self._sum_min[lanes]
+        increased = HDDM_A._mean_test(n, s, n_min, s_min, confidence)
+        if self._two_sided:
+            decreased = HDDM_A._mean_test(
+                n, s, self._n_max[lanes], self._sum_max[lanes],
+                confidence, decrease=True,
+            )
+            drift = increased | decreased
+        else:
+            drift = increased
+        warning = ~drift & HDDM_A._mean_test(
+            n, s, n_min, s_min, self._warning_confidence
+        )
+        hit = lanes[drift]
+        if hit.shape[0]:
+            self._n_total[hit] = 0.0
+            self._sum_total[hit] = 0.0
+            self._n_min[hit] = 0.0
+            self._sum_min[hit] = 0.0
+            self._n_max[hit] = 0.0
+            self._sum_max[hit] = 0.0
+        return drift, warning

@@ -1,0 +1,171 @@
+"""Struct-of-arrays detector state and the ragged-batch fleet driver.
+
+The batch kernels of :mod:`repro.detectors` vectorize *along time* within a
+single stream.  Production drift monitoring is the transpose: millions of
+users, each with their own low-rate stream and their own independent detector
+instance.  :class:`DetectorStateArray` holds the state of N such instances in
+struct-of-arrays form — one array per scalar detector attribute, with the
+stream (lane) as the leading axis — so one NumPy call advances thousands of
+detectors at once.
+
+Ragged-batch contract
+---------------------
+``step_fleet(stream_ids, values)`` consumes one *tick*: an arbitrary subset
+of lanes, each with an arbitrary number of new elements, in arbitrary
+interleaved order.  ``stream_ids[j]`` names the lane element ``j`` belongs
+to; elements of the same lane are consumed in their input order.  The driver
+decomposes the tick into *rounds* — round ``r`` holds the ``r``-th occurrence
+of every lane present in the tick — so each round touches every lane at most
+once and a single vectorized update per round is exact.  For the common case
+(every lane appears at most once per tick) the whole tick is one round.
+
+Bit-exactness contract
+----------------------
+Fleet output is *bit-identical* to N independent scalar detectors stepped in
+the same interleaved order: the per-element drift flags, the per-lane
+detection positions (1-based observation indices, as in
+:class:`repro.detectors.base.DriftDetector`), and every internal statistic.
+Subclass kernels achieve this by translating the scalar ``add_element``
+recurrences into element-wise array ops with identical expression shapes
+(IEEE-754 float64 ops round identically whether applied to a Python float, a
+NumPy scalar, or an array element).  Lanes are independent, so the order in
+which a round's lanes are updated is immaterial.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["DetectorStateArray", "iter_rounds"]
+
+
+def iter_rounds(stream_ids: np.ndarray) -> Iterator[np.ndarray]:
+    """Decompose a ragged tick into rounds of distinct lanes.
+
+    Yields, for each round, the *positions* (indices into the tick) of the
+    elements processed in that round: round ``r`` contains position ``j`` iff
+    element ``j`` is the ``r``-th element of its lane within the tick.  The
+    concatenation of all rounds is a permutation of ``arange(len(ids))`` and
+    within every round all lanes are distinct.
+    """
+    k = stream_ids.shape[0]
+    if k == 0:
+        return
+    order = np.argsort(stream_ids, kind="stable")
+    sorted_ids = stream_ids[order]
+    new_group = np.empty(k, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=new_group[1:])
+    positions_in_tick = np.arange(k, dtype=np.int64)
+    group_starts = np.maximum.accumulate(
+        np.where(new_group, positions_in_tick, 0)
+    )
+    occurrence = np.empty(k, dtype=np.int64)
+    occurrence[order] = positions_in_tick - group_starts
+    n_rounds = int(occurrence.max()) + 1
+    if n_rounds == 1:
+        yield positions_in_tick
+        return
+    for round_index in range(n_rounds):
+        yield np.flatnonzero(occurrence == round_index)
+
+
+class DetectorStateArray(abc.ABC):
+    """N independent detector instances stored as arrays, stepped together.
+
+    Subclasses hold one array per scalar state attribute (leading axis =
+    lane) and implement :meth:`_update_lanes` — the vectorized equivalent of
+    one ``add_element`` call on every lane of a round.  This base class owns
+    the ragged-batch driver and the per-lane detection bookkeeping, mirroring
+    :class:`repro.detectors.base.DriftDetector` exactly: 1-based detection
+    positions per lane, per-lane observation counts, and ``in_drift`` /
+    ``in_warning`` reflecting each lane's most recent element.
+    """
+
+    def __init__(self, n_streams: int) -> None:
+        if n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        self._n_streams = n_streams
+        self._in_drift = np.zeros(n_streams, dtype=bool)
+        self._in_warning = np.zeros(n_streams, dtype=bool)
+        self._n_observations = np.zeros(n_streams, dtype=np.int64)
+        self._detections: list[list[int]] = [[] for _ in range(n_streams)]
+
+    # ------------------------------------------------------------------ API
+    @property
+    def n_streams(self) -> int:
+        return self._n_streams
+
+    @property
+    def in_drift(self) -> np.ndarray:
+        """Per-lane drift flag of each lane's most recent element (copy)."""
+        return self._in_drift.copy()
+
+    @property
+    def in_warning(self) -> np.ndarray:
+        """Per-lane warning flag of each lane's most recent element (copy)."""
+        return self._in_warning.copy()
+
+    @property
+    def n_observations(self) -> np.ndarray:
+        """Per-lane number of elements consumed so far (copy)."""
+        return self._n_observations.copy()
+
+    def detections(self, lane: int) -> list[int]:
+        """1-based observation indices at which ``lane`` signalled drifts."""
+        return list(self._detections[lane])
+
+    def lane_state(self, lane: int) -> dict:
+        """One lane's internal statistics, for exactness tests and snapshots."""
+        return {}
+
+    # ------------------------------------------------------------- stepping
+    def step_fleet(
+        self, stream_ids: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Consume one ragged tick; return per-element drift flags.
+
+        ``stream_ids`` is a 1-D integer array of lane indices in
+        ``[0, n_streams)`` (repeats allowed, any order); ``values`` carries
+        the monitored signal, aligned element-for-element.  Returns a boolean
+        array marking the elements that triggered their lane's drift — the
+        exact flags N scalar detectors would produce.
+        """
+        stream_ids = np.asarray(stream_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if stream_ids.ndim != 1 or values.shape[:1] != stream_ids.shape:
+            raise ValueError("stream_ids and values must be 1-D and aligned")
+        if stream_ids.shape[0] and (
+            stream_ids.min() < 0 or stream_ids.max() >= self._n_streams
+        ):
+            raise ValueError(
+                f"stream_ids must lie in [0, {self._n_streams})"
+            )
+        flags = np.zeros(stream_ids.shape[0], dtype=bool)
+        for positions in iter_rounds(stream_ids):
+            lanes = stream_ids[positions]
+            drift, warning = self._update_lanes(lanes, values[positions])
+            self._n_observations[lanes] += 1
+            self._in_drift[lanes] = drift
+            self._in_warning[lanes] = warning
+            for j in np.flatnonzero(drift):
+                lane = int(lanes[j])
+                self._detections[lane].append(int(self._n_observations[lane]))
+            flags[positions[drift]] = True
+        return flags
+
+    @abc.abstractmethod
+    def _update_lanes(
+        self, lanes: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance each lane of a round by one element.
+
+        ``lanes`` contains distinct lane indices; ``values`` the aligned
+        monitored values.  Must apply the scalar ``add_element`` recurrence
+        element-wise (including any drift-triggered concept resets) and
+        return ``(drift, warning)`` boolean arrays aligned with ``lanes``.
+        Detection bookkeeping is handled by the caller.
+        """

@@ -17,6 +17,7 @@ import pytest
 from repro.core.windows import (
     ExponentialBuckets,
     RingWindow,
+    StackedRingWindow,
     consecutive_true_runs,
     exclusive_totals,
     gather_tracked,
@@ -39,6 +40,16 @@ class TestBounds:
         # Exact equality: the batch kernels seed trackers with one and fill
         # them with the other, so any rounding gap breaks chunk-exactness.
         assert np.array_equal(vectorized, scalar)
+
+    def test_hoeffding_guards_empty_samples(self):
+        # n <= 0 has no concentration bound; the guard must return inf
+        # (scalar and array) instead of tripping a divide-by-zero warning.
+        with np.errstate(divide="raise", invalid="raise"):
+            assert math.isinf(float(hoeffding_bound(0, 0.05)))
+            assert math.isinf(float(hoeffding_bound(-3.0, 0.05)))
+            out = hoeffding_bound(np.array([0.0, -1.0, 4.0]), 0.05)
+        assert np.isinf(out[:2]).all()
+        assert out[2] == _hoeffding_bound(4.0, 0.05)
 
     @pytest.mark.parametrize("confidence", [0.001, 0.005, 0.05])
     def test_mcdiarmid_matches_scalar_twin_bitwise(self, confidence):
@@ -125,11 +136,56 @@ class TestRingWindow:
 
     def test_empty_guards(self):
         window = RingWindow(2)
-        with pytest.raises(IndexError):
+        with pytest.raises(ValueError, match="empty RingWindow"):
             window.oldest()
         window.append(1.0)
         window.clear()
         assert len(window) == 0 and window.sum == 0.0
+        # Cleared windows guard exactly like fresh ones.
+        with pytest.raises(ValueError, match="empty RingWindow"):
+            window.oldest()
+
+
+class TestStackedRingWindow:
+    def test_lanes_match_independent_ring_windows(self):
+        rng = np.random.default_rng(3)
+        n_lanes, capacity = 5, 7
+        stacked = StackedRingWindow(n_lanes, capacity)
+        scalars = [RingWindow(capacity) for _ in range(n_lanes)]
+        for _ in range(80):
+            k = int(rng.integers(1, n_lanes + 1))
+            lanes = rng.choice(n_lanes, size=k, replace=False)
+            values = rng.integers(0, 2, size=k).astype(np.float64)
+            stacked.append_at(lanes, values)
+            for lane, value in zip(lanes, values):
+                scalars[lane].append(float(value))
+            for lane in range(n_lanes):
+                assert stacked.values_at(lane).tolist() == (
+                    scalars[lane].values().tolist()
+                )
+                assert stacked.sums[lane] == scalars[lane].sum
+                assert stacked.sizes[lane] == len(scalars[lane])
+
+    def test_oldest_and_clear(self):
+        stacked = StackedRingWindow(2, 3)
+        with pytest.raises(ValueError, match="empty lane"):
+            stacked.oldest_at(0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stacked.append_at(np.array([0]), np.array([v]))
+        assert stacked.oldest_at(0) == 2.0
+        assert stacked.values_at(0).tolist() == [2.0, 3.0, 4.0]
+        stacked.clear_lanes(np.array([0]))
+        assert stacked.sizes[0] == 0 and stacked.sums[0] == 0.0
+        with pytest.raises(ValueError, match="empty lane"):
+            stacked.oldest_at(0)
+        # Lane 1 was never touched by lane 0's traffic.
+        assert stacked.sizes[1] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackedRingWindow(0, 3)
+        with pytest.raises(ValueError):
+            StackedRingWindow(3, 0)
 
 
 class TestExponentialBuckets:

@@ -1,0 +1,142 @@
+"""Unit tests for the fleet engine (repro.fleet): rounds, driver, kernels.
+
+The bit-exactness contract against N scalar detectors is hunted by
+Hypothesis in ``tests/property/test_property_fleet.py``; these tests pin the
+deterministic plumbing — the rounds decomposition, input validation, the
+per-lane bookkeeping, and the native-kernel / adapter dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import DDM, FHDDM, RDDM
+from repro.fleet import (
+    FLEET_NATIVE,
+    DDMStateArray,
+    ScalarDetectorFleet,
+    fleet_from_template,
+    iter_rounds,
+    make_fleet,
+)
+
+
+class TestIterRounds:
+    def test_single_occurrences_are_one_round(self):
+        ids = np.array([3, 1, 4, 0], dtype=np.int64)
+        rounds = list(iter_rounds(ids))
+        assert len(rounds) == 1
+        assert rounds[0].tolist() == [0, 1, 2, 3]
+
+    def test_repeats_split_by_occurrence_preserving_order(self):
+        # Lane 2 appears three times, lane 1 twice: round r holds the r-th
+        # occurrence of every lane, at its original tick position.
+        ids = np.array([2, 1, 2, 0, 1, 2], dtype=np.int64)
+        rounds = [r.tolist() for r in iter_rounds(ids)]
+        assert rounds == [[0, 1, 3], [2, 4], [5]]
+        # Concatenation is a permutation and every round has distinct lanes.
+        flat = [p for r in rounds for p in r]
+        assert sorted(flat) == list(range(len(ids)))
+        for positions in rounds:
+            lanes = ids[positions]
+            assert len(set(lanes.tolist())) == len(positions)
+
+    def test_empty_tick(self):
+        assert list(iter_rounds(np.empty(0, dtype=np.int64))) == []
+
+
+class TestStepFleetDriver:
+    def test_validation(self):
+        fleet = make_fleet("DDM", 4)
+        with pytest.raises(ValueError, match="aligned"):
+            fleet.step_fleet(np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            fleet.step_fleet(np.array([4]), np.array([1.0]))
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            fleet.step_fleet(np.array([-1]), np.array([1.0]))
+
+    def test_empty_tick_is_a_no_op(self):
+        fleet = make_fleet("DDM", 3)
+        flags = fleet.step_fleet(np.empty(0, dtype=np.int64), np.empty(0))
+        assert flags.shape == (0,)
+        assert fleet.n_observations.tolist() == [0, 0, 0]
+
+    def test_observation_counts_and_flags_shape(self):
+        fleet = make_fleet("DDM", 3)
+        flags = fleet.step_fleet(
+            np.array([0, 2, 0, 0]), np.array([1.0, 0.0, 1.0, 0.0])
+        )
+        assert flags.dtype == bool and flags.shape == (4,)
+        assert fleet.n_observations.tolist() == [3, 0, 1]
+        assert fleet.in_drift.tolist() == [False, False, False]
+
+    def test_detections_are_one_based_per_lane(self):
+        template = DDM(min_num_instances=5)
+        fleet = fleet_from_template(template, 2)
+        scalar = DDM(min_num_instances=5)
+        rng = np.random.default_rng(0)
+        values = (rng.random(300) < (0.1 + 0.7 * (np.arange(300) > 150))).astype(
+            float
+        )
+        for value in values:
+            fleet.step_fleet(np.array([0, 1]), np.array([value, value]))
+            scalar.step_values(np.array([value]))
+        assert len(scalar.detections) > 0
+        assert fleet.detections(0) == list(scalar.detections)
+        assert fleet.detections(1) == list(scalar.detections)
+
+
+class TestConstruction:
+    def test_make_fleet_dispatch(self):
+        assert isinstance(make_fleet("DDM", 8), DDMStateArray)
+        assert isinstance(make_fleet("ADWIN", 3), ScalarDetectorFleet)
+        assert isinstance(make_fleet("PerfSim", 3, n_classes=3), ScalarDetectorFleet)
+        with pytest.raises(ValueError):
+            make_fleet("none", 2)
+
+    def test_native_coverage_is_the_sum_bound_family(self):
+        assert set(FLEET_NATIVE) == {
+            "DDM", "RDDM", "ECDD", "PH", "FHDDM", "HDDM-A",
+        }
+
+    def test_from_template_carries_configuration(self):
+        template = FHDDM(window_size=25, delta=0.01)
+        fleet = fleet_from_template(template, 4)
+        assert fleet._window_size == 25
+        assert fleet._epsilon == template.epsilon
+        with pytest.raises(TypeError, match="no native fleet kernel"):
+            from repro.detectors import ADWIN
+
+            fleet_from_template(ADWIN(), 4)
+
+    def test_from_detector_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="transposes DDM"):
+            DDMStateArray.from_detector(FHDDM(), 4)
+
+    def test_rddm_storage_is_min_size_stable_not_max_concept(self):
+        template = RDDM(max_concept_size=40_000, min_size_stable_concept=7_000)
+        fleet = fleet_from_template(template, 3)
+        assert fleet._storage.capacity == 7_000
+
+    def test_adapter_requires_detectors(self):
+        with pytest.raises(ValueError):
+            ScalarDetectorFleet([])
+
+
+class TestAdapterLayouts:
+    def test_error_rate_rejects_2d_values(self):
+        fleet = make_fleet("ADWIN", 2)
+        with pytest.raises(ValueError, match="1-D"):
+            fleet.step_fleet(np.array([0]), np.array([[1.0, 0.0]]))
+
+    def test_class_conditional_takes_label_pairs(self):
+        fleet = make_fleet("DDM-OCI", 2, n_classes=3)
+        flags = fleet.step_fleet(
+            np.array([0, 1, 0]),
+            np.array([[1.0, 1.0], [2.0, 0.0], [0.0, 1.0]]),
+        )
+        assert flags.shape == (3,)
+        assert fleet.n_observations.tolist() == [2, 1]
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            fleet.step_fleet(np.array([0]), np.array([1.0]))

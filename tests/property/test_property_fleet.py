@@ -1,0 +1,202 @@
+"""Property test: fleet stepping is bit-identical to N scalar detectors.
+
+For random stream counts, ragged tick interleavings (arbitrary subsets of
+lanes with arbitrary per-lane element counts per tick), and arbitrary splits
+of the element sequence into ticks, ``step_fleet`` must reproduce what N
+independent scalar detectors produce when stepped one element at a time in
+the same interleaved order: the per-element drift flags, the per-lane
+detection positions, observation counts, final drift/warning state, and —
+for the native struct-of-arrays kernels — every internal statistic exposed
+via ``lane_state``.  This is the contract the fleet engine advertises in
+:mod:`repro.fleet.state`; Hypothesis hunts for interleavings and tick
+boundaries that break a kernel's round decomposition or concept resets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import DDM, ECDDWT, FHDDM, HDDM_A, RDDM, PageHinkley
+from repro.detectors.base import ClassConditionalDetector, ErrorRateDetector
+from repro.fleet import FLEET_NATIVE, fleet_from_template, make_fleet
+from repro.protocol.registry import DETECTOR_NAMES, build_detector
+
+N_CLASSES = 3
+N_FEATURES = 4
+DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
+#: Per-element reference stepping is slow for the trainable/window-heavy
+#: detectors; they get fewer Hypothesis examples than the cheap kernels.
+MAX_EXAMPLES = {"RBM-IM": 5, "ADWIN": 12, "WSTD": 12}
+#: Elements per example (capped harder for RBM-IM, which trains per batch).
+MAX_ELEMENTS = {"RBM-IM": 60}
+
+#: Aggressively tuned sum-family templates so drifts, concept resets, RDDM
+#: prune-rebuilds, and FHDDM window wraps all actually fire within an example.
+AGGRESSIVE_TEMPLATES = {
+    "DDM": lambda: DDM(min_num_instances=5),
+    "RDDM": lambda: RDDM(
+        min_num_instances=5,
+        max_concept_size=40,
+        min_size_stable_concept=20,
+        warning_limit=3,
+    ),
+    "ECDD": lambda: ECDDWT(lambda_=0.3, control_limit=1.5, min_instances=5),
+    "PH": lambda: PageHinkley(
+        min_instances=5, delta=0.001, threshold=2.0, alpha=0.95
+    ),
+    "FHDDM": lambda: FHDDM(window_size=8, delta=0.05),
+    "HDDM-A": lambda: HDDM_A(drift_confidence=0.01, warning_confidence=0.05),
+}
+
+
+@st.composite
+def ragged_ticks(draw):
+    """Stream count, element interleaving seed, drift pattern, tick splits."""
+    n_streams = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=250))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n_pieces = draw(st.integers(min_value=1, max_value=4))
+    probabilities = [
+        draw(st.floats(min_value=0.0, max_value=0.9)) for _ in range(n_pieces)
+    ]
+    tick_sizes = draw(
+        st.one_of(
+            st.just([1] * n),  # one element per tick
+            st.just([n]),  # the whole sequence in one tick
+            st.lists(st.integers(min_value=0, max_value=n), min_size=1),
+        )
+    )
+    return n_streams, n, seed, probabilities, tick_sizes
+
+
+def _materialise(n_streams, n, seed, probabilities, tick_sizes):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, n_streams, n).astype(np.int64)
+    piece = (n + len(probabilities) - 1) // len(probabilities)
+    error_probability = np.repeat(probabilities, piece)[:n]
+    is_error = rng.random(n) < error_probability
+    labels = rng.integers(0, N_CLASSES, n)
+    offsets = rng.integers(1, N_CLASSES, n)
+    predictions = np.where(is_error, (labels + offsets) % N_CLASSES, labels)
+    features = rng.random((n, N_FEATURES))
+
+    sizes, remaining = [], n
+    for size in tick_sizes:
+        take = min(size, remaining)
+        if take < 0:
+            break
+        sizes.append(take)
+        remaining -= take
+        if remaining == 0:
+            break
+    if remaining:
+        sizes.append(remaining)
+    return ids, is_error.astype(np.float64), labels, predictions, features, sizes
+
+
+def _values_for(detector, errors, labels, predictions, features):
+    """Tick payload in the fleet's per-family ``values`` layout."""
+    if isinstance(detector, ErrorRateDetector):
+        return errors
+    if isinstance(detector, ClassConditionalDetector):
+        return np.column_stack([labels, predictions]).astype(np.float64)
+    return np.column_stack([features, labels, predictions]).astype(np.float64)
+
+
+def _step_scalar(detector, value):
+    """One element through the scalar detector, in the fleet's layout."""
+    if isinstance(detector, ErrorRateDetector):
+        return bool(detector.step_values(np.array([value]))[0])
+    if isinstance(detector, ClassConditionalDetector):
+        return bool(
+            detector.step_batch(
+                None, np.array([int(value[0])]), np.array([int(value[1])])
+            )[0]
+        )
+    return bool(
+        detector.step_batch(
+            value[None, :-2],
+            np.array([int(value[-2])]),
+            np.array([int(value[-1])]),
+        )[0]
+    )
+
+
+def _assert_fleet_exact(fleet, scalars, ids, values, sizes):
+    reference = scalars[0]
+    n = ids.shape[0]
+    start = 0
+    for size in sizes:
+        tick_ids = ids[start : start + size]
+        tick_values = values[start : start + size]
+        flags = fleet.step_fleet(tick_ids, tick_values)
+        expected = np.array(
+            [
+                _step_scalar(scalars[lane], tick_values[j])
+                for j, lane in enumerate(tick_ids)
+            ],
+            dtype=bool,
+        )
+        assert np.array_equal(flags, expected), (
+            f"tick flags diverged at elements [{start}, {start + size})"
+        )
+        start += size
+    assert start == n
+    for lane, scalar in enumerate(scalars):
+        assert fleet.detections(lane) == list(scalar.detections)
+        assert fleet.n_observations[lane] == scalar.n_observations
+        assert bool(fleet.in_drift[lane]) == scalar.in_drift
+        assert bool(fleet.in_warning[lane]) == scalar.in_warning
+        for key, value in fleet.lane_state(lane).items():
+            if key.startswith("_"):
+                assert value == getattr(scalar, key), (lane, key)
+    del reference
+
+
+@pytest.mark.parametrize("name", DETECTORS)
+def test_fleet_matches_scalar_detectors(name):
+    @settings(max_examples=MAX_EXAMPLES.get(name, 25), deadline=None)
+    @given(data=ragged_ticks())
+    def run(data):
+        n_streams, n, seed, probabilities, tick_sizes = data
+        n = min(n, MAX_ELEMENTS.get(name, n))
+        ids, errors, labels, predictions, features, sizes = _materialise(
+            n_streams, n, seed, probabilities, tick_sizes
+        )
+        fleet = make_fleet(
+            name, n_streams, n_features=N_FEATURES, n_classes=N_CLASSES
+        )
+        scalars = [
+            build_detector(name, N_FEATURES, N_CLASSES)
+            for _ in range(n_streams)
+        ]
+        probe = scalars[0]
+        values = _values_for(probe, errors, labels, predictions, features)
+        _assert_fleet_exact(fleet, scalars, ids, values, sizes)
+
+    run()
+
+
+@pytest.mark.parametrize("name", sorted(AGGRESSIVE_TEMPLATES))
+def test_native_kernels_exact_through_drifts(name):
+    """Drift-heavy configurations: resets, rebuilds, and warnings all fire."""
+    assert name in FLEET_NATIVE
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=ragged_ticks())
+    def run(data):
+        n_streams, n, seed, probabilities, tick_sizes = data
+        ids, errors, _labels, _predictions, _features, sizes = _materialise(
+            n_streams, n, seed, probabilities, tick_sizes
+        )
+        template = AGGRESSIVE_TEMPLATES[name]()
+        fleet = fleet_from_template(template, n_streams)
+        scalars = [
+            type(template)(**template.clone_params()) for _ in range(n_streams)
+        ]
+        _assert_fleet_exact(fleet, scalars, ids, errors, sizes)
+
+    run()
