@@ -1,0 +1,57 @@
+"""Strict-JSON serialisation helpers shared by the result sinks.
+
+``json.dumps`` happily emits ``NaN`` / ``Infinity`` / ``-Infinity`` — Python
+extensions that are **not** JSON: ``sqlite``'s ``json()`` functions, parquet
+writers, ``jq``, and most non-Python consumers reject them outright.  Cell
+records do contain non-finite floats in practice (``wall_time`` of a cell
+written off after repeated broken pools is ``nan``; ``mean_delay`` of a
+drift report with zero detected drifts is ``nan``), so every record sink
+funnels through :func:`dumps_strict`, which serialises non-finite floats as
+``null``.
+
+Reads stay *tolerant*: records written before this module existed may carry
+bare ``NaN`` tokens, and :func:`json.loads` accepts them by default.  Use
+:func:`loads_strict` only where the point is to *verify* that a payload is
+strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["sanitize_nonfinite", "dumps_strict", "loads_strict"]
+
+
+def sanitize_nonfinite(value):
+    """``value`` with every non-finite float replaced by ``None``, recursively.
+
+    Containers are rebuilt (tuples become lists, matching what JSON
+    round-trips produce anyway); everything else is returned as-is.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nonfinite(item) for item in value]
+    return value
+
+
+def dumps_strict(value, **kwargs) -> str:
+    """``json.dumps`` that can never emit a non-strict constant.
+
+    Non-finite floats are serialised as ``null``; ``allow_nan=False`` stays
+    on as a belt-and-braces guard so any non-finite value that slips past the
+    sanitiser raises instead of corrupting the store.
+    """
+    return json.dumps(sanitize_nonfinite(value), allow_nan=False, **kwargs)
+
+
+def _reject_constant(token: str):
+    raise ValueError(f"non-strict JSON constant {token!r}")
+
+
+def loads_strict(payload: str):
+    """``json.loads`` that rejects ``NaN`` / ``Infinity`` / ``-Infinity``."""
+    return json.loads(payload, parse_constant=_reject_constant)

@@ -3,15 +3,21 @@
 The paper's evaluation is a large cross-product — 24 benchmark streams, six
 detectors, multiple repetitions — and every cell is an independent prequential
 run.  :class:`ExperimentGrid` materialises that cross-product and fans it out
-over :mod:`concurrent.futures` workers with structured result aggregation:
+over a pluggable :class:`~repro.protocol.backends.ExecutionBackend`:
 
 * ``backend="process"`` — one OS process per worker (default; NumPy-heavy
   cells scale with cores).  Factories must be picklable (module-level
-  functions or ``functools.partial`` over them; lambdas are not).
+  functions or ``functools.partial`` over them; lambdas are not);
+  unpicklable payloads degrade to threads with a warning.
 * ``backend="thread"`` — threads; useful when factories are closures or the
   grid is small.
 * ``backend="serial"`` — in-process loop; deterministic ordering, easiest to
   debug.
+* ``backend="cluster"`` — a dask-style distributed cluster, degrading to
+  local execution when none is reachable.
+
+(see :mod:`repro.protocol.backends` for the registry — third-party backends
+register there and are selectable by name here).
 
 Every cell builds its stream *inside the worker* from ``(factory, seed)``, so
 no stream state crosses process boundaries and each cell is independently
@@ -24,17 +30,12 @@ from __future__ import annotations
 import json
 import time
 import traceback
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    Executor,
-    Future,
-    wait,
-)
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+from repro.core.jsonio import sanitize_nonfinite
 
 from repro.evaluation.prequential import PrequentialRunner, RunResult
 from repro.evaluation.results import ResultTable
@@ -131,7 +132,10 @@ def cell_record(cell_result: GridCellResult) -> dict:
 
     Includes the run metrics, detection positions, and — when the stream
     carried ground truth — the drift-detection report (recall, delay, false
-    alarms), so a record is self-contained for disk/DB sinks.
+    alarms), so a record is self-contained for disk/DB sinks.  The record is
+    **strict JSON**: non-finite floats (a broken-pool ``wall_time``, a
+    no-detections ``mean_delay``) are replaced by ``None`` so serialising it
+    can never emit a bare ``NaN`` that sqlite/parquet/jq consumers reject.
     """
     record: dict = dict(asdict(cell_result.cell))
     record["wall_time"] = cell_result.wall_time
@@ -158,7 +162,7 @@ def cell_record(cell_result: GridCellResult) -> dict:
                 "mean_delay": report.mean_delay,
                 "detection_recall": report.detection_recall,
             }
-    return record
+    return sanitize_nonfinite(record)
 
 
 def _execute_cell(
@@ -230,20 +234,17 @@ class CellTask:
 
 
 def tasks_picklable(tasks: Sequence[CellTask]) -> bool:
-    """Whether every task payload can cross a process boundary."""
+    """Whether every task's **full** payload can cross a process boundary.
+
+    Probes ``task.args()`` — the exact tuple a process worker receives — not
+    just the three factories: an unpicklable value hiding inside
+    ``runner_kwargs``/``run_kwargs`` would otherwise pass the probe and then
+    fail every cell at submit time on the process backend.
+    """
     import pickle
 
     try:
-        pickle.dumps(
-            tuple(
-                (
-                    task.stream_factory,
-                    task.detector_factory,
-                    task.classifier_factory,
-                )
-                for task in tasks
-            )
-        )
+        pickle.dumps(tuple(task.args() for task in tasks))
     except Exception:  # noqa: BLE001 - any pickling failure means "no"
         return False
     return True
@@ -251,113 +252,28 @@ def tasks_picklable(tasks: Sequence[CellTask]) -> bool:
 
 def run_cell_tasks(
     tasks: Sequence[CellTask],
-    backend: str = "process",
+    backend: "str | object" = "process",
     max_workers: int | None = None,
     progress: Callable[[GridCellResult], None] | None = None,
 ) -> list[GridCellResult]:
     """Execute cell tasks on the chosen backend, preserving input order.
 
-    ``backend`` is ``"process"`` (falls back to threads when a payload is not
-    picklable), ``"thread"``, or ``"serial"``.  ``progress`` is invoked with
-    every finished cell, in completion order; worker crashes surface as failed
-    :class:`GridCellResult`\\ s rather than exceptions.
-
-    A worker death (OOM kill, segfault) breaks the whole process pool: every
-    pending future — including cells that never got to run — fails with
-    :class:`~concurrent.futures.BrokenExecutor`.  Those cells are resubmitted
-    on a fresh executor rather than written off, up to
-    ``_MAX_BROKEN_RETRIES`` broken pools per cell; repeat offenders are
-    resubmitted last so queued innocents drain before the likely culprit can
-    break the next pool.  Only the cells still caught in a broken pool after
-    the retry budget are recorded as per-cell failures.
+    ``backend`` is a registered backend name — ``"process"`` (degrades to
+    threads, with a warning, when a payload is not picklable), ``"thread"``,
+    ``"serial"``, ``"cluster"`` (degrades to local execution when no cluster
+    is reachable) — or an :class:`~repro.protocol.backends.ExecutionBackend`
+    instance.  ``progress`` is invoked with every finished cell; worker
+    crashes surface as failed :class:`GridCellResult`\\ s rather than
+    exceptions (see :mod:`repro.protocol.backends` for the broken-pool and
+    lost-worker retry semantics).
     """
-    if backend not in ("process", "thread", "serial"):
-        raise ValueError(f"unknown backend {backend!r}")
-    if backend == "process" and not tasks_picklable(tasks):
-        # Lambdas/closures cannot cross process boundaries; degrade to
-        # threads rather than failing every cell.
-        backend = "thread"
-    if backend == "serial":
-        results = []
-        for task in tasks:
-            cell_result = task.execute()
-            if progress is not None:
-                progress(cell_result)
-            results.append(cell_result)
-        return results
+    # Imported lazily: backends live beside the protocol pipeline (which
+    # imports this module), so a module-level import would be circular.
+    from repro.protocol.backends import resolve_backend
 
-    executor = _make_executor(backend, max_workers)
-    futures: dict[Future, int] = {}
-    broken_counts: dict[int, int] = {}
-
-    def submit(index: int) -> Future:
-        nonlocal executor
-        try:
-            future = executor.submit(_execute_cell, *tasks[index].args())
-        except BrokenExecutor:
-            # The pool died since the last submit; replace it.
-            executor.shutdown(wait=False, cancel_futures=True)
-            executor = _make_executor(backend, max_workers)
-            future = executor.submit(_execute_cell, *tasks[index].args())
-        futures[future] = index
-        return future
-
-    try:
-        by_index: dict[int, GridCellResult] = {}
-        pending = {submit(index) for index in range(len(tasks))}
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            retry: list[int] = []
-            for future in done:
-                index = futures.pop(future)
-                try:
-                    cell_result = future.result()
-                except BrokenExecutor:
-                    # A worker death poisons every future sharing the pool;
-                    # give this cell a fresh pool unless it keeps being
-                    # caught in (or causing) the crashes.
-                    broken_counts[index] = broken_counts.get(index, 0) + 1
-                    if broken_counts[index] <= _MAX_BROKEN_RETRIES:
-                        retry.append(index)
-                        continue
-                    cell_result = GridCellResult(
-                        cell=tasks[index].cell,
-                        result=None,
-                        wall_time=float("nan"),
-                        error=traceback.format_exc(),
-                    )
-                except Exception:  # worker raised through the future
-                    cell_result = GridCellResult(
-                        cell=tasks[index].cell,
-                        result=None,
-                        wall_time=float("nan"),
-                        error=traceback.format_exc(),
-                    )
-                by_index[index] = cell_result
-                if progress is not None:
-                    progress(cell_result)
-            # Repeat offenders last: cells that already saw several broken
-            # pools are the likeliest crashers, so queued innocents drain
-            # first on the replacement pool.
-            for index in sorted(retry, key=lambda i: (broken_counts[i], i)):
-                pending.add(submit(index))
-    except BaseException:
-        # On Ctrl-C (or a raising progress callback) drop the queued cells
-        # instead of draining them; in-flight cells still finish.
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    executor.shutdown()
-    return [by_index[index] for index in range(len(tasks))]
-
-
-def _make_executor(backend: str, max_workers: int | None) -> Executor:
-    if backend == "process":
-        from concurrent.futures import ProcessPoolExecutor
-
-        return ProcessPoolExecutor(max_workers=max_workers)
-    from concurrent.futures import ThreadPoolExecutor
-
-    return ThreadPoolExecutor(max_workers=max_workers)
+    return resolve_backend(backend).run(
+        tasks, max_workers=max_workers, progress=progress
+    )
 
 
 class ExperimentGrid:
@@ -438,9 +354,11 @@ class ExperimentGrid:
         max_workers:
             Worker count for the parallel backends (default: executor's own).
         backend:
-            ``"process"`` (default), ``"thread"``, or ``"serial"``.  The
-            process backend requires picklable factories and transparently
-            falls back to threads when pickling fails.
+            A registered backend name — ``"process"`` (default),
+            ``"thread"``, ``"serial"``, ``"cluster"`` — or an
+            :class:`~repro.protocol.backends.ExecutionBackend` instance.
+            The process backend requires picklable payloads and degrades to
+            threads (with a warning) when pickling fails.
         progress:
             Optional callback invoked with every finished cell.
         """

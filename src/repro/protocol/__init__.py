@@ -9,9 +9,15 @@ This package wires the repo's layers into one runnable pipeline:
   detector zoo;
 * :mod:`repro.protocol.store` — :class:`ResultsStore`, one atomic JSON
   record per cell, which makes interrupted runs resumable and repeated runs
-  cached;
+  cached; both stores share :class:`ResultsStoreProtocol`;
+* :mod:`repro.protocol.sharded_store` — :class:`ShardedResultsStore`,
+  append-only per-writer segments with atomic compaction into a sqlite
+  index, for runs past one-file-per-cell scale;
+* :mod:`repro.protocol.backends` — the pluggable
+  :class:`ExecutionBackend` registry (``serial`` / ``thread`` / ``process``
+  / ``cluster``) the pipeline fans cells out over;
 * :mod:`repro.protocol.pipeline` — :class:`ProtocolPipeline`, the
-  run/resume/status engine over the shared parallel grid executor;
+  run/resume/status engine over the pluggable execution backends;
 * :mod:`repro.protocol.analysis` — folds stored records into the paper's
   tables, ranks, and Friedman / Bonferroni-Dunn / Bayesian summaries.
 
@@ -29,16 +35,37 @@ from repro.protocol.analysis import (
     records_to_table,
     render_report,
 )
+from repro.protocol.backends import (
+    ClusterBackend,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from repro.protocol.pipeline import (
     ProtocolPipeline,
     ProtocolRunSummary,
     ProtocolStatus,
 )
 from repro.protocol.registry import DETECTOR_NAMES, build_detector, detector_factory
+from repro.protocol.sharded_store import ShardedResultsStore
 from repro.protocol.spec import ProtocolCell, ProtocolSpec, benchmark_name, build_scenario
-from repro.protocol.store import ResultsStore
+from repro.protocol.store import ResultsStore, ResultsStoreProtocol
 
 __all__ = [
+    "ClusterBackend",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
+    "ShardedResultsStore",
+    "ResultsStoreProtocol",
     "ProtocolAnalysis",
     "analyze_records",
     "detection_table",

@@ -1,19 +1,28 @@
 """Command-line entry point: ``python -m repro.protocol``.
 
-Three subcommands drive the reproduction:
+Four store-facing subcommands drive the reproduction:
 
-* ``run``    — execute every pending cell of a spec into a results store
+* ``run``     — execute every pending cell of a spec into a results store
   (resumable: completed cells are skipped, so re-invoking after a kill
   finishes only the remainder);
-* ``status`` — report how much of the spec the store already covers;
-* ``report`` — fold the stored records into the paper's tables and
-  Friedman / Bonferroni-Dunn / Bayesian summaries.
+* ``status``  — report how much of the spec the store already covers;
+* ``report``  — fold the stored records into the paper's tables and
+  Friedman / Bonferroni-Dunn / Bayesian summaries;
+* ``compact`` — fold a sharded store's append-only segments into its
+  sqlite index (see ``--store-format`` below).
 
 The spec comes either from a JSON file (``--spec``) or a built-in preset
 (``--preset paper`` / ``--preset quick`` / ``--preset extended`` — all nine
 scenario families — / ``--preset stress`` — the adversarial stressors);
 ``spec`` files are produced with ``python -m repro.protocol spec --preset
 paper > my_spec.json`` and edited freely.
+
+Scaling knobs: ``--store-format sharded`` selects the segment+index
+:class:`~repro.protocol.sharded_store.ShardedResultsStore` (the default
+``auto`` recognises an existing sharded store by its layout, so the flag is
+only needed on the first ``run``); ``--backend cluster`` executes cells on a
+dask-style distributed cluster (``--cluster-address``) and **degrades to
+local execution with a warning** when no cluster is reachable.
 """
 
 from __future__ import annotations
@@ -23,9 +32,11 @@ import sys
 from pathlib import Path
 
 from repro.protocol.analysis import analyze_records, render_report
+from repro.protocol.backends import backend_names, make_backend
 from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.sharded_store import ShardedResultsStore
 from repro.protocol.spec import ProtocolSpec
-from repro.protocol.store import ResultsStore
+from repro.protocol.store import ResultsStore, ResultsStoreProtocol
 
 _PRESETS = {
     "paper": ProtocolSpec.paper,
@@ -86,6 +97,37 @@ def _load_spec_with_overrides(args: argparse.Namespace) -> ProtocolSpec:
     return spec
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=Path, required=True, help="results directory")
+    parser.add_argument(
+        "--store-format",
+        choices=("auto", "json", "sharded"),
+        default="auto",
+        help="results-store layout: 'json' = one atomic file per cell, "
+        "'sharded' = append-only segments + sqlite index (use for runs "
+        "beyond a few thousand cells; compact with the 'compact' "
+        "subcommand).  'auto' (default) recognises an existing sharded "
+        "store by its layout and otherwise uses 'json'",
+    )
+
+
+def _open_store(args: argparse.Namespace) -> ResultsStoreProtocol:
+    path: Path = args.store
+    fmt: str = args.store_format
+    if fmt == "auto":
+        is_sharded = (path / "segments").is_dir() or (path / "index.sqlite").is_file()
+        fmt = "sharded" if is_sharded else "json"
+    if fmt == "sharded":
+        return ShardedResultsStore(path)
+    return ResultsStore(path)
+
+
+def _make_backend(args: argparse.Namespace):
+    if args.backend == "cluster":
+        return make_backend("cluster", address=args.cluster_address)
+    return args.backend
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.protocol",
@@ -95,15 +137,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="execute pending cells into the store")
     _add_spec_arguments(run)
-    run.add_argument("--store", type=Path, required=True, help="results directory")
+    _add_store_arguments(run)
     run.add_argument(
         "--workers", type=int, default=None, help="parallel worker count"
     )
     run.add_argument(
         "--backend",
-        choices=("process", "thread", "serial"),
+        choices=tuple(backend_names()),
         default="process",
-        help="execution backend (default: process)",
+        help="execution backend (default: process).  'cluster' runs cells "
+        "on a dask-style distributed cluster and degrades to local "
+        "execution, with a warning, when no cluster is reachable",
+    )
+    run.add_argument(
+        "--cluster-address",
+        default=None,
+        help="scheduler address for --backend cluster "
+        "(e.g. tcp://host:8786; default: the client library's default)",
     )
     run.add_argument(
         "--max-cells",
@@ -120,11 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="summarise store coverage of the spec")
     _add_spec_arguments(status)
-    status.add_argument("--store", type=Path, required=True)
+    _add_store_arguments(status)
 
     report = sub.add_parser("report", help="tables + statistics from the store")
     _add_spec_arguments(report)
-    report.add_argument("--store", type=Path, required=True)
+    _add_store_arguments(report)
     report.add_argument(
         "--metrics",
         nargs="+",
@@ -140,6 +190,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rope", type=float, default=0.01, help="Bayesian signed test ROPE"
     )
 
+    compact = sub.add_parser(
+        "compact",
+        help="fold a sharded store's segments into its sqlite index "
+        "(atomic; run while no other process is writing)",
+    )
+    _add_store_arguments(compact)
+
     spec_cmd = sub.add_parser("spec", help="print a preset spec as editable JSON")
     spec_cmd.add_argument(
         "--preset", choices=sorted(_PRESETS), default="paper"
@@ -149,7 +206,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_run(args: argparse.Namespace) -> int:
     spec = _load_spec_with_overrides(args)
-    pipeline = ProtocolPipeline(spec, ResultsStore(args.store))
+    pipeline = ProtocolPipeline(spec, _open_store(args))
 
     def progress(cell_result) -> None:
         cell = cell_result.cell
@@ -162,7 +219,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
     summary = pipeline.run(
         max_workers=args.workers,
-        backend=args.backend,
+        backend=_make_backend(args),
         progress=None if args.quiet else progress,
         retry_failed=not args.no_retry_failed,
         max_cells=args.max_cells,
@@ -175,25 +232,39 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_status(args: argparse.Namespace) -> int:
     spec = _load_spec_with_overrides(args)
-    pipeline = ProtocolPipeline(spec, ResultsStore(args.store))
+    pipeline = ProtocolPipeline(spec, _open_store(args))
     status = pipeline.status()
     print(f"spec {spec.name!r} in {args.store}")
     print(status.describe())
+    statuses = pipeline.store.statuses()
     by_detector: dict[str, list[int]] = {}
     for cell, key in pipeline.cells():
-        record = pipeline.store.get(key)
         slot = by_detector.setdefault(cell.detector, [0, 0])
         slot[0] += 1
-        if record is not None and record.get("error") is None:
+        if statuses.get(key):
             slot[1] += 1
     for detector, (total, done) in by_detector.items():
         print(f"  {detector:>10}: {done}/{total}")
     return 0 if status.done else 2
 
 
+def _command_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if not isinstance(store, ShardedResultsStore):
+        print(
+            f"{args.store} is not a sharded store; nothing to compact "
+            "(pass --store-format sharded on the first run to create one)",
+            file=sys.stderr,
+        )
+        return 2
+    index = store.compact()
+    print(f"compacted {len(store)} records into {index}")
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     spec = _load_spec_with_overrides(args)
-    pipeline = ProtocolPipeline(spec, ResultsStore(args.store))
+    pipeline = ProtocolPipeline(spec, _open_store(args))
     records = pipeline.completed_records()
     if not records:
         print("no completed cells in the store yet", file=sys.stderr)
@@ -216,6 +287,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "run": _command_run,
         "status": _command_status,
         "report": _command_report,
+        "compact": _command_compact,
         "spec": _command_spec,
     }
     return handlers[args.command](args)

@@ -1,0 +1,463 @@
+"""Pluggable execution backends for fanning out grid cell tasks.
+
+:func:`repro.evaluation.grid.run_cell_tasks` used to hard-code its three
+``concurrent.futures`` strategies; this module extracts them behind one
+:class:`ExecutionBackend` contract plus a registry, so
+:meth:`ProtocolPipeline.run(backend=...) <repro.protocol.pipeline.
+ProtocolPipeline.run>` and the ``python -m repro.protocol`` CLI select the
+execution strategy declaratively:
+
+* ``serial``  — in-process loop; deterministic ordering, easiest to debug;
+* ``thread``  — one :class:`~concurrent.futures.ThreadPoolExecutor`;
+* ``process`` — one :class:`~concurrent.futures.ProcessPoolExecutor` with
+  broken-pool recovery (a worker death poisons every future sharing the
+  pool; innocents are resubmitted on a fresh pool, repeat offenders last,
+  up to :data:`_MAX_BROKEN_RETRIES` broken pools per cell).  Payloads that
+  cannot be pickled degrade to ``thread`` with a :class:`RuntimeWarning`;
+* ``cluster`` — the dask-style client/cluster lifecycle: explicit
+  :meth:`~ClusterBackend.connect`, a worker health check before (and during)
+  the run, per-cell retry when a worker is lost mid-cell, and **graceful
+  degradation to local execution** — a warning, never a failure — when no
+  cluster is reachable.  The real client is ``distributed.Client`` when the
+  optional ``dask.distributed`` package is importable; any object with the
+  same ``submit`` / ``scheduler_info`` / ``close`` surface works, which is
+  also how the backend is tested without a cluster.
+
+Third parties register their own strategies with :func:`register_backend`;
+``run_cell_tasks`` and the pipeline accept either a registered name or an
+:class:`ExecutionBackend` instance.
+"""
+
+from __future__ import annotations
+
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    wait,
+)
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.evaluation.grid import (
+    _MAX_BROKEN_RETRIES,
+    CellTask,
+    GridCellResult,
+    _execute_cell,
+    tasks_picklable,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ClusterBackend",
+    "WorkerLost",
+    "register_backend",
+    "backend_names",
+    "make_backend",
+    "resolve_backend",
+]
+
+Progress = Callable[[GridCellResult], None]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """One strategy for executing cell tasks.
+
+    ``run`` preserves input order in its return value, invokes ``progress``
+    with every finished cell (in completion order), and surfaces worker
+    crashes as failed :class:`GridCellResult`\\ s rather than exceptions.
+    """
+
+    name: str
+
+    def run(
+        self,
+        tasks: Sequence[CellTask],
+        *,
+        max_workers: "int | None" = None,
+        progress: "Progress | None" = None,
+    ) -> list[GridCellResult]: ...
+
+
+# --------------------------------------------------------------- registry
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register ``factory`` (``**options -> backend``) under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> list[str]:
+    """Every registered backend name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+        ) from None
+    return factory(**options)
+
+
+def resolve_backend(backend: "str | ExecutionBackend") -> ExecutionBackend:
+    """A backend instance from either a registered name or an instance."""
+    if isinstance(backend, str):
+        return make_backend(backend)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    raise TypeError(
+        f"backend must be a registered name or an ExecutionBackend, "
+        f"got {backend!r}"
+    )
+
+
+# ------------------------------------------------------------------ local
+class SerialBackend:
+    """In-process loop; deterministic ordering, easiest to debug."""
+
+    name = "serial"
+
+    def run(self, tasks, *, max_workers=None, progress=None):
+        results = []
+        for task in tasks:
+            cell_result = task.execute()
+            if progress is not None:
+                progress(cell_result)
+            results.append(cell_result)
+        return results
+
+
+def _run_on_pool(
+    tasks: Sequence[CellTask],
+    make_executor: Callable[[], Executor],
+    progress: "Progress | None",
+) -> list[GridCellResult]:
+    """Fan tasks over ``concurrent.futures`` with broken-pool recovery.
+
+    A worker death (OOM kill, segfault) breaks the whole process pool: every
+    pending future — including cells that never got to run — fails with
+    :class:`~concurrent.futures.BrokenExecutor`.  Those cells are resubmitted
+    on a fresh executor rather than written off, up to
+    ``_MAX_BROKEN_RETRIES`` broken pools per cell; repeat offenders are
+    resubmitted last so queued innocents drain before the likely culprit can
+    break the next pool.  Only the cells still caught in a broken pool after
+    the retry budget are recorded as per-cell failures.
+    """
+    executor = make_executor()
+    futures: dict[Future, int] = {}
+    broken_counts: dict[int, int] = {}
+
+    def submit(index: int) -> Future:
+        nonlocal executor
+        try:
+            future = executor.submit(_execute_cell, *tasks[index].args())
+        except BrokenExecutor:
+            # The pool died since the last submit; replace it.
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = make_executor()
+            future = executor.submit(_execute_cell, *tasks[index].args())
+        futures[future] = index
+        return future
+
+    try:
+        by_index: dict[int, GridCellResult] = {}
+        pending = {submit(index) for index in range(len(tasks))}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            retry: list[int] = []
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    cell_result = future.result()
+                except BrokenExecutor:
+                    # A worker death poisons every future sharing the pool;
+                    # give this cell a fresh pool unless it keeps being
+                    # caught in (or causing) the crashes.
+                    broken_counts[index] = broken_counts.get(index, 0) + 1
+                    if broken_counts[index] <= _MAX_BROKEN_RETRIES:
+                        retry.append(index)
+                        continue
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
+                    )
+                except Exception:  # worker raised through the future
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
+                    )
+                by_index[index] = cell_result
+                if progress is not None:
+                    progress(cell_result)
+            # Repeat offenders last: cells that already saw several broken
+            # pools are the likeliest crashers, so queued innocents drain
+            # first on the replacement pool.
+            for index in sorted(retry, key=lambda i: (broken_counts[i], i)):
+                pending.add(submit(index))
+    except BaseException:
+        # On Ctrl-C (or a raising progress callback) drop the queued cells
+        # instead of draining them; in-flight cells still finish.
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown()
+    return [by_index[index] for index in range(len(tasks))]
+
+
+class ThreadBackend:
+    """One thread per worker; right when factories are closures."""
+
+    name = "thread"
+
+    def run(self, tasks, *, max_workers=None, progress=None):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return _run_on_pool(
+            tasks, lambda: ThreadPoolExecutor(max_workers=max_workers), progress
+        )
+
+
+class ProcessBackend:
+    """One OS process per worker (NumPy-heavy cells scale with cores)."""
+
+    name = "process"
+
+    def run(self, tasks, *, max_workers=None, progress=None):
+        if not tasks_picklable(tasks):
+            warnings.warn(
+                "process backend: task payload is not picklable "
+                "(lambda/closure factory, or an unpicklable value in "
+                "runner_kwargs/run_kwargs); degrading to the thread backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ThreadBackend().run(
+                tasks, max_workers=max_workers, progress=progress
+            )
+        from concurrent.futures import ProcessPoolExecutor
+
+        return _run_on_pool(
+            tasks, lambda: ProcessPoolExecutor(max_workers=max_workers), progress
+        )
+
+
+# ---------------------------------------------------------------- cluster
+class WorkerLost(RuntimeError):
+    """A cluster worker died while (or before) running a cell.
+
+    Raised by client implementations to signal a *retryable* loss; dask's
+    ``distributed.KilledWorker`` is treated identically when available.
+    """
+
+
+def _lost_worker_errors() -> tuple:
+    errors: list[type] = [WorkerLost]
+    try:  # optional dependency — never required
+        from distributed import KilledWorker  # type: ignore
+
+        errors.append(KilledWorker)
+    except Exception:
+        pass
+    return tuple(errors)
+
+
+def _default_client_factory(address: "str | None", timeout: float):
+    """Connect a real ``distributed.Client`` (import gated: dask is optional)."""
+
+    def connect():
+        from distributed import Client  # raises ImportError without dask
+
+        return Client(address=address, timeout=timeout)
+
+    return connect
+
+
+class ClusterBackend:
+    """Dask-style client/cluster execution with degradation-to-local.
+
+    Parameters
+    ----------
+    address:
+        Scheduler address (``tcp://host:port``); ``None`` asks the client
+        library for its default (environment-configured) cluster.
+    client_factory:
+        Zero-argument callable returning a connected client.  Defaults to
+        ``distributed.Client(address, timeout=...)``; inject a stand-in for
+        testing or for non-dask clusters with the same surface
+        (``submit(fn, *args) -> future``, ``scheduler_info()``, ``close()``).
+    fallback:
+        Registered backend name to degrade to when no cluster is reachable
+        (default ``"process"``).
+    connect_timeout:
+        Seconds to wait for the scheduler before degrading.
+    max_retries:
+        Per-cell resubmissions after a lost worker before the cell is
+        recorded as failed (mirrors the process pool's broken-pool budget).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        address: "str | None" = None,
+        client_factory: "Callable[[], object] | None" = None,
+        fallback: str = "process",
+        connect_timeout: float = 5.0,
+        max_retries: int = _MAX_BROKEN_RETRIES,
+    ) -> None:
+        self._address = address
+        self._client_factory = client_factory or _default_client_factory(
+            address, connect_timeout
+        )
+        self._fallback = fallback
+        self._max_retries = max_retries
+        self._lost_errors = _lost_worker_errors()
+        self._client: "object | None" = None
+        self._connect_error: "BaseException | None" = None
+
+    # -------------------------------------------------------- lifecycle
+    def connect(self) -> "object | None":
+        """Connect (idempotent); ``None`` when the cluster is unreachable."""
+        if self._client is not None:
+            return self._client
+        try:
+            client = self._client_factory()
+        except BaseException as error:  # noqa: BLE001 - any failure degrades
+            self._connect_error = error
+            return None
+        if not self.healthy(client):
+            self._connect_error = RuntimeError("cluster reports no workers")
+            self._close_client(client)
+            return None
+        self._client = client
+        return client
+
+    def healthy(self, client: "object | None" = None) -> bool:
+        """Whether the cluster currently reports at least one live worker."""
+        client = client if client is not None else self._client
+        if client is None:
+            return False
+        try:
+            info = client.scheduler_info()  # type: ignore[attr-defined]
+        except Exception:
+            return False
+        return bool(isinstance(info, dict) and info.get("workers"))
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._close_client(self._client)
+            self._client = None
+
+    @staticmethod
+    def _close_client(client) -> None:
+        try:
+            client.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- run
+    def run(self, tasks, *, max_workers=None, progress=None):
+        client = self.connect()
+        if client is None:
+            reason = self._connect_error or "no client available"
+            warnings.warn(
+                f"cluster backend: no cluster reachable at "
+                f"{self._address or '<default>'} ({reason}); degrading to "
+                f"local {self._fallback!r} execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return make_backend(self._fallback).run(
+                tasks, max_workers=max_workers, progress=progress
+            )
+        try:
+            return self._run_on_cluster(client, tasks, max_workers, progress)
+        finally:
+            self.close()
+
+    def _run_on_cluster(self, client, tasks, max_workers, progress):
+        """Submit every cell; retry cells whose worker was lost mid-flight.
+
+        Results are gathered in submission order (each ``future.result()``
+        blocks while the rest keep running on the cluster), so ``progress``
+        fires in submission order here.  If the cluster loses its last
+        worker mid-run, the unfinished remainder degrades to the local
+        fallback instead of failing.
+        """
+        by_index: dict[int, GridCellResult] = {}
+        retries: dict[int, int] = {}
+
+        def submit(index: int):
+            return client.submit(_execute_cell, *tasks[index].args())
+
+        pending = {index: submit(index) for index in range(len(tasks))}
+        order = deque(range(len(tasks)))
+        while order:
+            index = order.popleft()
+            future = pending.pop(index)
+            try:
+                cell_result = future.result()
+            except self._lost_errors:
+                retries[index] = retries.get(index, 0) + 1
+                if not self.healthy(client):
+                    # The cluster is gone; finish the remainder locally
+                    # rather than failing cells that never got to run.
+                    remainder = [index, *order]
+                    warnings.warn(
+                        f"cluster backend: cluster became unhealthy with "
+                        f"{len(remainder)} cells unfinished; degrading the "
+                        f"remainder to local {self._fallback!r} execution",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    local = make_backend(self._fallback).run(
+                        [tasks[i] for i in remainder],
+                        max_workers=max_workers,
+                        progress=progress,
+                    )
+                    by_index.update(zip(remainder, local))
+                    break
+                if retries[index] <= self._max_retries:
+                    # Resubmit on the (still healthy) cluster; repeat
+                    # offenders drain last, as in the broken-pool path.
+                    pending[index] = submit(index)
+                    order.append(index)
+                    continue
+                cell_result = GridCellResult(
+                    cell=tasks[index].cell,
+                    result=None,
+                    wall_time=float("nan"),
+                    error=traceback.format_exc(),
+                )
+            except Exception:  # the cell itself raised on the worker
+                cell_result = GridCellResult(
+                    cell=tasks[index].cell,
+                    result=None,
+                    wall_time=float("nan"),
+                    error=traceback.format_exc(),
+                )
+            by_index[index] = cell_result
+            if progress is not None:
+                progress(cell_result)
+        return [by_index[index] for index in range(len(tasks))]
+
+
+register_backend("serial", SerialBackend)
+register_backend("thread", ThreadBackend)
+register_backend("process", ProcessBackend)
+register_backend("cluster", ClusterBackend)

@@ -3,16 +3,26 @@
 :class:`ProtocolPipeline` glues the layers together: the spec expands into
 cells, each pending cell becomes a :class:`~repro.evaluation.grid.CellTask`
 (scenario stream factory from :mod:`repro.streams.scenarios`, detector
-factory from the registry, the paper's default classifier), the shared grid
-executor fans the tasks out, and every finished cell is **immediately**
-persisted into the :class:`~repro.protocol.store.ResultsStore` before any
-progress callback runs.  Because persistence is per-cell and atomic, a run
-killed at any point loses at most the cells in flight; re-invoking the
-pipeline skips every stored cell and recomputes only the rest.
+factory from the registry, the paper's default classifier), a pluggable
+:class:`~repro.protocol.backends.ExecutionBackend` fans the tasks out, and
+every finished cell is **immediately** persisted into the results store
+before any progress callback runs.  Because persistence is per-cell and
+atomic (or append-durable, for the sharded store), a run killed at any
+point loses at most the cells in flight; re-invoking the pipeline skips
+every stored cell and recomputes only the rest.
+
+The pipeline consumes stores only through
+:class:`~repro.protocol.store.ResultsStoreProtocol` — the single-file
+:class:`~repro.protocol.store.ResultsStore` and the segment-based
+:class:`~repro.protocol.sharded_store.ShardedResultsStore` are
+interchangeable, and ``pending()``/``status()`` are one bulk
+:meth:`~repro.protocol.store.ResultsStoreProtocol.statuses` scan rather
+than a per-key ``get`` loop.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -26,9 +36,10 @@ from repro.evaluation.grid import (
     run_cell_tasks,
 )
 from repro.evaluation.results import ResultTable
+from repro.protocol.backends import ExecutionBackend
 from repro.protocol.registry import detector_factory
 from repro.protocol.spec import ProtocolCell, ProtocolSpec, callable_label
-from repro.protocol.store import ResultsStore
+from repro.protocol.store import ResultsStore, ResultsStoreProtocol
 
 __all__ = ["ProtocolStatus", "ProtocolRunSummary", "ProtocolPipeline"]
 
@@ -83,7 +94,10 @@ class ProtocolPipeline:
     spec:
         The protocol to execute.
     store:
-        Results store (a directory path or a :class:`ResultsStore`).
+        Any :class:`~repro.protocol.store.ResultsStoreProtocol`
+        implementation (:class:`ResultsStore`,
+        :class:`~repro.protocol.sharded_store.ShardedResultsStore`, ...).
+        A bare directory path means a single-file :class:`ResultsStore`.
     classifier_factory:
         Base classifier for every cell; defaults to the paper's
         cost-sensitive perceptron tree.  Must be picklable for the process
@@ -93,11 +107,13 @@ class ProtocolPipeline:
     def __init__(
         self,
         spec: ProtocolSpec,
-        store: "ResultsStore | str",
+        store: "ResultsStoreProtocol | str | os.PathLike[str]",
         classifier_factory: Callable | None = None,
     ) -> None:
         self._spec = spec
-        self._store = store if isinstance(store, ResultsStore) else ResultsStore(store)
+        if isinstance(store, (str, os.PathLike)):
+            store = ResultsStore(store)
+        self._store = store
         self._classifier_factory = classifier_factory or default_classifier_factory
         # Hashed into every cell key: a different classifier must never be
         # served records computed with another one.
@@ -108,7 +124,7 @@ class ProtocolPipeline:
         return self._spec
 
     @property
-    def store(self) -> ResultsStore:
+    def store(self) -> ResultsStoreProtocol:
         return self._store
 
     # -------------------------------------------------------------- planning
@@ -120,13 +136,16 @@ class ProtocolPipeline:
         ]
 
     def pending(self, retry_failed: bool = True) -> list[tuple[ProtocolCell, str]]:
-        """Cells with no usable stored record (optionally retrying failures)."""
+        """Cells with no usable stored record (optionally retrying failures).
+
+        One bulk :meth:`~repro.protocol.store.ResultsStoreProtocol.statuses`
+        scan of the store, not a per-key ``get`` loop.
+        """
+        statuses = self._store.statuses()
         remaining = []
         for cell, key in self.cells():
-            record = self._store.get(key)
-            if record is None:
-                remaining.append((cell, key))
-            elif record.get("error") is not None and retry_failed:
+            ok = statuses.get(key)
+            if ok is None or (not ok and retry_failed):
                 remaining.append((cell, key))
         return remaining
 
@@ -157,7 +176,7 @@ class ProtocolPipeline:
     def run(
         self,
         max_workers: int | None = None,
-        backend: str = "process",
+        backend: "str | ExecutionBackend" = "process",
         progress: Callable[[GridCellResult], None] | None = None,
         retry_failed: bool = True,
         max_cells: int | None = None,
@@ -166,8 +185,11 @@ class ProtocolPipeline:
 
         Completed cells (a readable stored record without an error) are
         **never recomputed**; re-invoking after an interruption finishes only
-        the remainder.  ``max_cells`` caps how many pending cells this
-        invocation takes on (useful for incremental/smoke runs).
+        the remainder.  ``backend`` is a registered backend name (``serial``
+        / ``thread`` / ``process`` / ``cluster``) or an
+        :class:`~repro.protocol.backends.ExecutionBackend` instance;
+        ``max_cells`` caps how many pending cells this invocation takes on
+        (useful for incremental/smoke runs).
         """
         started = time.perf_counter()
         self._store.save_spec(self._spec.to_json())
@@ -233,14 +255,15 @@ class ProtocolPipeline:
 
     # ------------------------------------------------------------ inspection
     def status(self, retry_failed: bool = True) -> ProtocolStatus:
-        """How much of the spec the store already covers."""
+        """How much of the spec the store already covers (one bulk scan)."""
+        statuses = self._store.statuses()
         n_completed = 0
         n_failed = 0
         for _, key in self.cells():
-            record = self._store.get(key)
-            if record is None:
+            ok = statuses.get(key)
+            if ok is None:
                 continue
-            if record.get("error") is None:
+            if ok:
                 n_completed += 1
             else:
                 n_failed += 1
@@ -250,12 +273,13 @@ class ProtocolPipeline:
 
     def completed_records(self) -> list[dict]:
         """Stored records of this spec's completed cells, in cell order."""
-        records = []
-        for _, key in self.cells():
-            record = self._store.get(key)
-            if record is not None and record.get("error") is None:
-                records.append(record)
-        return records
+        keys = [key for _, key in self.cells()]
+        found = self._store.get_many(keys)
+        return [
+            found[key]
+            for key in keys
+            if key in found and found[key].get("error") is None
+        ]
 
     def table(self, metric: str = "pmauc", scale: float = 1.0) -> ResultTable:
         """(benchmarks x detectors) table of a stored metric, seed-averaged."""

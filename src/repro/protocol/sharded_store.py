@@ -1,0 +1,384 @@
+"""Sharded results store: append-only segments + an atomic sqlite index.
+
+The single-file :class:`~repro.protocol.store.ResultsStore` pays one file
+per cell — fine at hundreds of cells, pathological at the full protocol's
+tens of thousands (every ``status()`` is N opens + parses, and the
+filesystem becomes the scheduler).  :class:`ShardedResultsStore` keeps the
+same contract (:class:`~repro.protocol.store.ResultsStoreProtocol`, same
+crash-resume and content-hash-key invalidation semantics) with a log-
+structured layout::
+
+    root/
+      spec.json            # provenance copy of the spec (atomic write)
+      index.sqlite         # compacted records, one row per key
+      segments/
+        seg-<pid>-<token>.jsonl   # append-only, one record per line
+
+**Writes** append one strict-JSON line (``{"k": key, "r": record}``) to the
+writer's own segment file and fsync it; the segment's directory entry is
+fsynced when the segment is created.  A crash mid-append leaves a torn last
+line, which readers treat as absent — exactly the corruption tolerance of
+the single-file store, so SIGKILL at any point loses at most the in-flight
+record.  ``record: null`` lines are tombstones (:meth:`discard`).
+
+**Reads** merge the sqlite index with every live segment, segments winning
+(sorted segment order, later lines within a segment win — i.e. last write
+wins for the store's single-writer-per-process discipline).  ``statuses()``
+never parses record payloads for indexed rows: completion state is a column.
+
+**Compaction** (:meth:`compact`) folds the old index plus every segment into
+a fresh sqlite database built as a ``.tmp-*`` sibling, fsyncs it,
+:func:`os.replace`\\ s it over ``index.sqlite``, fsyncs the directory, and
+only then unlinks the folded segments.  A crash before the replace leaves
+the store untouched (the stray tmp is cleaned on the next compaction); a
+crash after it merely leaves already-indexed segments behind, which the
+merge dedupes and the next compaction removes.  Compact when no other
+process is writing (the CLI exposes ``python -m repro.protocol compact``).
+
+Legacy tolerance: lines or rows carrying bare ``NaN`` (written before the
+strict-serialisation fix) still parse on read; everything written by this
+module is strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import uuid
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.core.jsonio import dumps_strict
+from repro.protocol.store import _atomic_write_text, _fsync_dir
+
+__all__ = ["ShardedResultsStore"]
+
+_SEGMENT_DIR = "segments"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".jsonl"
+_INDEX_NAME = "index.sqlite"
+_TMP_PREFIX = ".tmp-"
+
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS records ("
+    " key TEXT PRIMARY KEY,"
+    " ok INTEGER NOT NULL,"  # 1 = record has no "error"; statuses() reads
+    " record TEXT NOT NULL"  # only this column plus the key
+    ")"
+)
+
+
+class ShardedResultsStore:
+    """Append-only per-writer segments with atomic compaction into sqlite."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self._root = Path(root)
+        self._segments = self._root / _SEGMENT_DIR
+        self._segments.mkdir(parents=True, exist_ok=True)
+        self._segment_path: "Path | None" = None
+        self._segment_file: "IO[str] | None" = None
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def index_path(self) -> Path:
+        return self._root / _INDEX_NAME
+
+    # ------------------------------------------------------------ write API
+    def put(self, key: str, record: dict) -> Path:
+        """Durably append ``record`` under ``key`` (last write wins)."""
+        return self.put_many([(key, record)])
+
+    def put_many(self, items: Iterable[tuple[str, dict]]) -> Path:
+        """Append many records with a single fsync (bulk-load fast path)."""
+        lines = [
+            dumps_strict({"k": key, "r": record}, sort_keys=True)
+            for key, record in items
+        ]
+        return self._append_lines(lines)
+
+    def discard(self, key: str) -> bool:
+        """Tombstone ``key``; returns whether a record was visible before."""
+        existed = self.get(key) is not None
+        if existed:
+            self._append_lines([dumps_strict({"k": key, "r": None})])
+        return existed
+
+    def save_spec(self, spec_json: str) -> Path:
+        """Persist a provenance copy of the spec alongside the records."""
+        path = self._root / "spec.json"
+        _atomic_write_text(self._root, path, spec_json)
+        return path
+
+    def _append_lines(self, lines: list[str]) -> Path:
+        handle = self._writer()
+        handle.write("".join(line + "\n" for line in lines))
+        handle.flush()
+        os.fsync(handle.fileno())
+        assert self._segment_path is not None
+        return self._segment_path
+
+    def _writer(self) -> "IO[str]":
+        """This store instance's own segment, opened lazily on first append."""
+        if self._segment_file is None:
+            name = (
+                f"{_SEGMENT_PREFIX}{os.getpid()}-"
+                f"{uuid.uuid4().hex[:12]}{_SEGMENT_SUFFIX}"
+            )
+            self._segment_path = self._segments / name
+            self._segment_file = open(
+                self._segment_path, "a", encoding="utf-8"
+            )
+            # Make the new directory entry itself durable, not just the data.
+            _fsync_dir(self._segments)
+        return self._segment_file
+
+    def close(self) -> None:
+        """Close this instance's segment; the next append opens a fresh one."""
+        if self._segment_file is not None:
+            self._segment_file.close()
+            self._segment_file = None
+            self._segment_path = None
+
+    # ------------------------------------------------------------- read API
+    def get(self, key: str) -> "dict | None":
+        found: "dict | None" = None
+        overlaid = False
+        for seen, record in self._segment_entries():
+            if seen == key:  # keep scanning: later lines win
+                found, overlaid = record, True
+        if overlaid:
+            return found  # None here means a tombstone
+        rows = self._index_rows(keys=(key,))
+        if key in rows:
+            return self._parse_record(rows[key][1])
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        return sorted(self._merged_records())
+
+    def records(self) -> Iterator[tuple[str, dict]]:
+        merged = self._merged_records()
+        for key in sorted(merged):
+            yield key, merged[key]
+
+    def __len__(self) -> int:
+        return len(self._merged_records())
+
+    def statuses(self) -> dict[str, bool]:
+        """``key -> record is error-free``: one index scan + segment overlay.
+
+        Indexed rows are answered from the ``ok`` column without parsing a
+        single record payload; only the (few, small) uncompacted segments
+        are parsed.
+        """
+        out: dict[str, bool] = {}
+        path = self.index_path
+        if path.exists():
+            try:
+                connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            except sqlite3.Error:
+                connection = None
+            if connection is not None:
+                try:
+                    # Deliberately no `record` column: completion state must
+                    # not cost a payload fetch per cell.
+                    cursor = connection.execute("SELECT key, ok FROM records")
+                    out = {key: bool(ok) for key, ok in cursor}
+                except sqlite3.Error:
+                    out = {}
+                finally:
+                    connection.close()
+        for key, record in self._segment_entries():
+            if record is None:
+                out.pop(key, None)
+            else:
+                out[key] = record.get("error") is None
+        return out
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Records for every key in ``keys``: one indexed query + overlay."""
+        wanted = list(keys)
+        found: dict[str, dict] = {}
+        for key, (_, payload) in self._index_rows(keys=wanted).items():
+            record = self._parse_record(payload)
+            if record is not None:
+                found[key] = record
+        wanted_set = set(wanted)
+        for key, record in self._segment_entries():
+            if key not in wanted_set:
+                continue
+            if record is None:
+                found.pop(key, None)
+            else:
+                found[key] = record
+        return found
+
+    # ----------------------------------------------------------- compaction
+    def compact(self) -> Path:
+        """Fold every segment (and the old index) into a fresh atomic index.
+
+        Safe against a kill at any point: the new index becomes visible only
+        through ``os.replace`` + directory fsync, and segments are unlinked
+        strictly afterwards, so the worst outcomes are (a) a stray tmp
+        database — cleaned up here on the next run — or (b) already-indexed
+        segments left behind, which reads dedupe and the next compaction
+        removes.  Run it from a single process while no writer is active.
+        """
+        self.close()  # fold our own segment too
+        for stray in self._root.glob(f"{_TMP_PREFIX}*"):
+            try:
+                os.unlink(stray)
+            except OSError:
+                pass
+        segment_paths = self._segment_files()
+        merged: dict[str, tuple[int, str]] = dict(self._index_rows())
+        for path in segment_paths:
+            for key, record in self._entries_of(path):
+                if record is None:
+                    merged.pop(key, None)
+                else:
+                    ok = int(record.get("error") is None)
+                    merged[key] = (ok, dumps_strict(record, sort_keys=True))
+
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=_TMP_PREFIX, suffix=".sqlite", dir=self._root
+        )
+        os.close(descriptor)
+        try:
+            connection = sqlite3.connect(tmp_name)
+            try:
+                connection.execute(_SCHEMA)
+                connection.executemany(
+                    "INSERT OR REPLACE INTO records (key, ok, record) "
+                    "VALUES (?, ?, ?)",
+                    (
+                        (key, ok, payload)
+                        for key, (ok, payload) in merged.items()
+                    ),
+                )
+                connection.commit()
+            finally:
+                connection.close()
+            descriptor = os.open(tmp_name, os.O_RDONLY)
+            try:
+                os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
+            os.replace(tmp_name, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(self._root)
+        # The folded segments are now redundant; losing power between the
+        # unlinks only leaves duplicates that reads dedupe.
+        for path in segment_paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        _fsync_dir(self._segments)
+        return self.index_path
+
+    # ------------------------------------------------------------ internals
+    def _segment_files(self) -> list[Path]:
+        return sorted(
+            self._segments.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+        )
+
+    def _segment_entries(self) -> Iterator[tuple[str, "dict | None"]]:
+        """Every (key, record-or-tombstone) across segments, in write order."""
+        if self._segment_file is not None:
+            self._segment_file.flush()  # see our own unfsynced appends
+        for path in self._segment_files():
+            yield from self._entries_of(path)
+
+    @staticmethod
+    def _entries_of(path: Path) -> Iterator[tuple[str, "dict | None"]]:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return
+        for line in data.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn tail or hand-introduced corruption
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("k"), str
+            ):
+                continue
+            record = entry.get("r")
+            if record is None or isinstance(record, dict):
+                yield entry["k"], record
+
+    def _index_rows(
+        self, keys: "Iterable[str] | None" = None
+    ) -> dict[str, tuple[int, str]]:
+        """``key -> (ok, record_json)`` from the index (empty if no index)."""
+        path = self.index_path
+        if not path.exists():
+            return {}
+        try:
+            connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        except sqlite3.Error:
+            return {}
+        try:
+            if keys is None:
+                cursor = connection.execute(
+                    "SELECT key, ok, record FROM records"
+                )
+                return {key: (ok, payload) for key, ok, payload in cursor}
+            rows: dict[str, tuple[int, str]] = {}
+            wanted = list(dict.fromkeys(keys))
+            for start in range(0, len(wanted), 500):
+                chunk = wanted[start : start + 500]
+                marks = ",".join("?" * len(chunk))
+                cursor = connection.execute(
+                    "SELECT key, ok, record FROM records "
+                    f"WHERE key IN ({marks})",
+                    chunk,
+                )
+                rows.update(
+                    {key: (ok, payload) for key, ok, payload in cursor}
+                )
+            return rows
+        except sqlite3.Error:
+            # A half-written or foreign file where the index should be is
+            # treated like corruption everywhere else: absent, not fatal.
+            return {}
+        finally:
+            connection.close()
+
+    def _merged_records(self) -> dict[str, dict]:
+        merged: dict[str, dict] = {}
+        for key, (_, payload) in self._index_rows().items():
+            record = self._parse_record(payload)
+            if record is not None:
+                merged[key] = record
+        for key, record in self._segment_entries():
+            if record is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = record
+        return merged
+
+    @staticmethod
+    def _parse_record(payload: str) -> "dict | None":
+        try:
+            record = json.loads(payload)
+        except (json.JSONDecodeError, TypeError):
+            return None
+        return record if isinstance(record, dict) else None

@@ -1,13 +1,25 @@
-"""Durable on-disk store of protocol results: one JSON record per cell.
+"""Durable on-disk stores of protocol results, behind one shared contract.
 
-Layout: a root directory holding ``<key>.json`` files (the key is the
-content-hashed cell key from :meth:`~repro.protocol.spec.ProtocolSpec.
-cell_key`) plus a ``spec.json`` provenance copy of the spec that produced
-them.  Three invariants make the store safe to kill at any moment:
+Two implementations exist:
+
+* :class:`ResultsStore` (this module) — one ``<key>.json`` file per cell.
+  Simple, greppable, zero-dependency; the right store up to a few thousand
+  cells, after which the filesystem becomes the scheduler (every
+  ``status()`` is N opens + parses).
+* :class:`~repro.protocol.sharded_store.ShardedResultsStore` — append-only
+  per-writer segment files compacted into a sqlite index; ``status()`` over
+  tens of thousands of cells is one index scan.
+
+Both satisfy :class:`ResultsStoreProtocol`, which is what
+:class:`~repro.protocol.pipeline.ProtocolPipeline` consumes — the pipeline
+never touches paths, only keys and records.
+
+Three invariants make the single-file store safe to kill at any moment:
 
 * **atomic writes** — records are written to a ``.tmp-*`` sibling, flushed
-  and fsynced, then :func:`os.replace`\\ d into place, so a visible
-  ``<key>.json`` is always complete;
+  and fsynced, then :func:`os.replace`\\ d into place **and the directory
+  entry fsynced**, so a visible ``<key>.json`` is always complete and a
+  completed rename survives power loss;
 * **corruption tolerance** — a record that cannot be parsed (e.g. a file
   truncated by a crash of a *non*-atomic writer, or hand-edited) is treated
   as absent, never as an error, so the pipeline simply recomputes that cell;
@@ -15,7 +27,9 @@ them.  Three invariants make the store safe to kill at any moment:
   done, so resuming requires no manifest, no database, and no ordering.
 
 Records are plain JSON dictionaries; the store imposes no schema beyond
-requiring JSON-serialisable values.
+requiring JSON-serialisable values.  Writes are **strict** JSON: non-finite
+floats are serialised as ``null`` (see :mod:`repro.core.jsonio`), while
+reads stay tolerant of legacy records carrying bare ``NaN`` tokens.
 """
 
 from __future__ import annotations
@@ -24,12 +38,93 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
-__all__ = ["ResultsStore"]
+from repro.core.jsonio import dumps_strict
+
+__all__ = ["ResultsStore", "ResultsStoreProtocol"]
 
 _SUFFIX = ".json"
 _TMP_PREFIX = ".tmp-"
+
+
+def _fsync_dir(directory: "str | os.PathLike[str]") -> None:
+    """fsync a directory so renames/creates/unlinks in it survive power loss.
+
+    POSIX-guarded: platforms that cannot open or fsync a directory (Windows,
+    some network filesystems) silently skip — the data files themselves are
+    still fsynced, so this only narrows the power-failure window, it never
+    breaks a write.
+    """
+    if not hasattr(os, "O_DIRECTORY"):
+        return
+    try:
+        fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_text(directory: Path, path: Path, payload: str) -> None:
+    """tmp-write + fsync + rename + dir fsync; no stray tmp file on failure.
+
+    The directory fsync after :func:`os.replace` is what makes the *rename*
+    durable: without it a completed record can vanish on power failure even
+    though its bytes were fsynced.
+    """
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=_TMP_PREFIX, suffix=_SUFFIX, dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+@runtime_checkable
+class ResultsStoreProtocol(Protocol):
+    """What the pipeline requires of a results store.
+
+    Keys are the content-hashed cell keys from
+    :meth:`~repro.protocol.spec.ProtocolSpec.cell_key`; records are plain
+    JSON dictionaries.  ``statuses`` exists so ``pending()``/``status()``
+    over large specs are a single bulk scan instead of a per-key ``get``
+    loop — implementations back it with whatever index they have.
+    """
+
+    def put(self, key: str, record: dict): ...
+
+    def get(self, key: str) -> "dict | None": ...
+
+    def discard(self, key: str) -> bool: ...
+
+    def keys(self) -> list[str]: ...
+
+    def records(self) -> Iterator[tuple[str, dict]]: ...
+
+    def statuses(self) -> dict[str, bool]: ...
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict]: ...
+
+    def save_spec(self, spec_json: str): ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def __len__(self) -> int: ...
 
 
 class ResultsStore:
@@ -55,21 +150,23 @@ class ResultsStore:
     def put(self, key: str, record: dict) -> Path:
         """Atomically persist ``record`` under ``key`` (overwriting any old one).
 
-        The record is serialised to canonical (sorted-key) JSON in a
-        temporary sibling file, fsynced, and renamed over the final path, so
+        The record is serialised to canonical (sorted-key) **strict** JSON —
+        non-finite floats become ``null`` — in a temporary sibling file,
+        fsynced, and renamed over the final path (with a directory fsync), so
         readers and crash-restarted runs never observe a partial record.
         """
         path = self.path_for(key)
-        self._atomic_write(path, json.dumps(record, indent=2, sort_keys=True))
+        self._atomic_write(path, dumps_strict(record, indent=2, sort_keys=True))
         return path
 
     def discard(self, key: str) -> bool:
         """Delete the record for ``key``; returns whether one existed."""
         try:
             self.path_for(key).unlink()
-            return True
         except FileNotFoundError:
             return False
+        _fsync_dir(self._root)
+        return True
 
     def save_spec(self, spec_json: str) -> Path:
         """Persist a provenance copy of the spec alongside the records."""
@@ -78,25 +175,10 @@ class ResultsStore:
         return path
 
     def _atomic_write(self, path: Path, payload: str) -> None:
-        """tmp-write + fsync + rename; leaves no stray tmp file on failure."""
-        descriptor, tmp_name = tempfile.mkstemp(
-            prefix=_TMP_PREFIX, suffix=_SUFFIX, dir=self._root
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _atomic_write_text(self._root, path, payload)
 
     # ------------------------------------------------------------- read API
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str) -> "dict | None":
         """The stored record for ``key``, or ``None`` if absent or corrupt."""
         return self._load(self.path_for(key))
 
@@ -105,13 +187,7 @@ class ResultsStore:
 
     def keys(self) -> list[str]:
         """Keys of every *readable* record, sorted."""
-        found = []
-        for path in sorted(self._root.glob(f"*{_SUFFIX}")):
-            if path.name.startswith(_TMP_PREFIX) or path.name == "spec.json":
-                continue
-            if self._load(path) is not None:
-                found.append(path.name[: -len(_SUFFIX)])
-        return found
+        return [key for key, _ in self.records()]
 
     def records(self) -> Iterator[tuple[str, dict]]:
         """Iterate ``(key, record)`` over every readable record, sorted by key."""
@@ -122,12 +198,31 @@ class ResultsStore:
             if record is not None:
                 yield path.name[: -len(_SUFFIX)], record
 
+    def statuses(self) -> dict[str, bool]:
+        """``key -> record is error-free`` for every readable record.
+
+        One directory scan; each record file is parsed exactly once, however
+        many keys the caller goes on to interrogate.
+        """
+        return {
+            key: record.get("error") is None for key, record in self.records()
+        }
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Records for every key in ``keys`` that has a readable record."""
+        found: dict[str, dict] = {}
+        for key in keys:
+            record = self.get(key)
+            if record is not None:
+                found[key] = record
+        return found
+
     def __len__(self) -> int:
         return len(self.keys())
 
     # ------------------------------------------------------------ internals
     @staticmethod
-    def _load(path: Path) -> dict | None:
+    def _load(path: Path) -> "dict | None":
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)

@@ -1,0 +1,288 @@
+"""The pluggable execution-backend layer: registry, fallbacks, cluster.
+
+The cluster backend is exercised without a real cluster: any object with the
+``submit`` / ``scheduler_info`` / ``close`` surface is a valid client, so
+fakes drive the lifecycle paths — explicit connect, worker health checks,
+per-cell retry on lost workers, and graceful degradation-to-local both when
+no cluster is reachable and when the cluster dies mid-run.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.classifiers import GaussianNaiveBayes
+from repro.detectors import FHDDM
+from repro.evaluation.grid import (
+    CellTask,
+    GridCell,
+    cell_record,
+    run_cell_tasks,
+    tasks_picklable,
+)
+from repro.protocol.backends import (
+    ClusterBackend,
+    ExecutionBackend,
+    SerialBackend,
+    WorkerLost,
+    backend_names,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.streams.scenarios import make_artificial_stream
+
+N_INSTANCES = 300
+
+
+def nb_factory(n_features, n_classes):
+    return GaussianNaiveBayes(n_features, n_classes)
+
+
+def fhddm_factory(n_features, n_classes):
+    return FHDDM()
+
+
+def tiny_stream(seed: int):
+    return make_artificial_stream(
+        "rbf", 4, n_instances=N_INSTANCES, max_imbalance_ratio=10.0, seed=seed
+    )
+
+
+def _task(name: str, seed: int = 0, **kwargs) -> CellTask:
+    return CellTask(
+        cell=GridCell(stream=name, detector="FHDDM", seed=seed),
+        stream_factory=kwargs.pop("stream_factory", tiny_stream),
+        detector_factory=fhddm_factory,
+        classifier_factory=nb_factory,
+        run_kwargs={"n_instances": N_INSTANCES},
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------- registry
+def test_builtin_backends_are_registered():
+    assert backend_names() == ["cluster", "process", "serial", "thread"]
+
+
+def test_unknown_backend_is_a_value_error():
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend("bogus")
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_cell_tasks([_task("a")], backend="bogus")
+
+
+def test_resolve_accepts_instances_and_rejects_junk():
+    backend = SerialBackend()
+    assert resolve_backend(backend) is backend
+    assert isinstance(resolve_backend("serial"), SerialBackend)
+    with pytest.raises(TypeError):
+        resolve_backend(42)
+
+
+def test_third_party_backends_register_and_run():
+    class CountingBackend(SerialBackend):
+        name = "counting"
+        calls = 0
+
+        def run(self, tasks, *, max_workers=None, progress=None):
+            CountingBackend.calls += 1
+            return super().run(tasks, max_workers=max_workers, progress=progress)
+
+    register_backend("counting", CountingBackend)
+    try:
+        assert "counting" in backend_names()
+        assert isinstance(make_backend("counting"), ExecutionBackend)
+        results = run_cell_tasks([_task("a")], backend="counting")
+        assert CountingBackend.calls == 1
+        assert results[0].ok
+    finally:
+        from repro.protocol import backends as backends_module
+
+        backends_module._REGISTRY.pop("counting", None)
+
+
+# ----------------------------------------------------- picklability probing
+def test_probe_covers_kwargs_not_just_factories():
+    """An unpicklable value hiding in runner_kwargs must fail the probe —
+    the old three-factory probe let it through and every cell then died on
+    the process backend."""
+    clean = _task("a")
+    assert tasks_picklable([clean])
+    poisoned = _task("b", runner_kwargs={"hook": lambda: None})
+    assert not tasks_picklable([poisoned])
+    poisoned_run = CellTask(
+        cell=clean.cell,
+        stream_factory=clean.stream_factory,
+        detector_factory=clean.detector_factory,
+        classifier_factory=clean.classifier_factory,
+        run_kwargs={"n_instances": N_INSTANCES, "junk": lambda: None},
+    )
+    assert not tasks_picklable([poisoned_run])
+
+
+def test_process_backend_warns_when_degrading_to_threads():
+    closure_seed = 0
+    tasks = [_task("a", stream_factory=lambda seed: tiny_stream(closure_seed))]
+    with pytest.warns(RuntimeWarning, match="degrading to the thread backend"):
+        results = run_cell_tasks(tasks, backend="process", max_workers=1)
+    assert results[0].ok
+
+
+# ---------------------------------------------------------- strict records
+def test_cell_record_replaces_nonfinite_floats():
+    """A broken-pool cell's nan wall_time must serialise as null, not NaN."""
+    import json
+
+    from repro.evaluation.grid import GridCellResult
+
+    failed = GridCellResult(
+        cell=GridCell(stream="s", detector="d", seed=0),
+        result=None,
+        wall_time=float("nan"),
+        error="Traceback: broken pool",
+    )
+    record = cell_record(failed)
+    assert record["wall_time"] is None
+
+    def reject(token):
+        raise AssertionError(f"non-strict constant {token!r}")
+
+    json.loads(json.dumps(record), parse_constant=reject)
+
+
+# ------------------------------------------------------------ fake clusters
+class FakeFuture:
+    def __init__(self, compute):
+        self._compute = compute
+
+    def result(self):
+        return self._compute()
+
+
+class FakeClient:
+    """Duck-typed distributed.Client: runs submissions inline on result()."""
+
+    def __init__(self, n_workers=2, fail_plan=None):
+        self.n_workers = n_workers
+        self.fail_plan = dict(fail_plan or {})  # cell stream -> failures left
+        self.submissions = 0
+        self.closed = False
+
+    def submit(self, fn, *args):
+        self.submissions += 1
+        cell = args[0]
+
+        def compute():
+            if self.fail_plan.get(cell.stream, 0) > 0:
+                self.fail_plan[cell.stream] -= 1
+                raise WorkerLost(f"worker running {cell.stream} died")
+            return fn(*args)
+
+        return FakeFuture(compute)
+
+    def scheduler_info(self):
+        return {"workers": {f"w{i}": {} for i in range(self.n_workers)}}
+
+    def close(self):
+        self.closed = True
+
+
+def test_cluster_runs_cells_and_closes_client():
+    client = FakeClient()
+    backend = ClusterBackend(client_factory=lambda: client)
+    results = backend.run([_task("a"), _task("b", seed=1)])
+    assert [r.ok for r in results] == [True, True]
+    assert client.submissions == 2
+    assert client.closed
+
+
+def test_cluster_retries_cells_on_lost_workers():
+    client = FakeClient(fail_plan={"flaky": 1})
+    backend = ClusterBackend(client_factory=lambda: client)
+    results = backend.run([_task("flaky"), _task("ok", seed=1)])
+    assert [r.ok for r in results] == [True, True]
+    assert client.submissions == 3  # the lost cell was resubmitted once
+
+
+def test_cluster_writes_off_repeat_offenders_only():
+    client = FakeClient(fail_plan={"doomed": 99})
+    backend = ClusterBackend(client_factory=lambda: client, max_retries=2)
+    results = backend.run([_task("doomed"), _task("ok", seed=1)])
+    by_stream = {r.cell.stream: r for r in results}
+    assert by_stream["ok"].ok
+    assert not by_stream["doomed"].ok
+    assert "worker running doomed died" in by_stream["doomed"].error
+
+
+def test_cluster_degrades_to_local_when_unreachable():
+    def no_cluster():
+        raise ConnectionRefusedError("nothing listening")
+
+    backend = ClusterBackend(
+        client_factory=no_cluster, fallback="serial", address="tcp://nowhere:1"
+    )
+    with pytest.warns(RuntimeWarning, match="no cluster reachable"):
+        results = backend.run([_task("a")])
+    assert results[0].ok
+
+
+def test_cluster_degrades_when_scheduler_has_no_workers():
+    client = FakeClient(n_workers=0)
+    backend = ClusterBackend(client_factory=lambda: client, fallback="serial")
+    with pytest.warns(RuntimeWarning, match="no cluster reachable"):
+        results = backend.run([_task("a")])
+    assert results[0].ok
+    assert client.closed  # the useless client was not leaked
+
+
+def test_cluster_degrades_remainder_when_cluster_dies_mid_run():
+    class DyingClient(FakeClient):
+        def scheduler_info(self):
+            # Healthy at connect time, gone by the first health re-check.
+            self.n_workers -= 1
+            return super().scheduler_info()
+
+    client = DyingClient(n_workers=2, fail_plan={"flaky": 1})
+    backend = ClusterBackend(client_factory=lambda: client, fallback="serial")
+    with pytest.warns(RuntimeWarning, match="became unhealthy"):
+        results = backend.run([_task("flaky"), _task("ok", seed=1)])
+    assert [r.ok for r in results] == [True, True]
+
+
+def test_cluster_default_factory_degrades_without_dask():
+    """No dask in the environment: the real default path must warn + run."""
+    pytest.importorskip  # (dask is deliberately NOT importable here)
+    try:
+        import distributed  # noqa: F401
+
+        pytest.skip("dask.distributed installed; default factory would connect")
+    except ImportError:
+        pass
+    backend = ClusterBackend(fallback="serial")
+    with pytest.warns(RuntimeWarning, match="degrading to local 'serial'"):
+        results = backend.run([_task("a")])
+    assert results[0].ok
+
+
+def test_pipeline_accepts_backend_instances(tmp_path):
+    from repro.protocol.pipeline import ProtocolPipeline
+    from repro.protocol.spec import ProtocolSpec
+
+    spec = ProtocolSpec.quick()
+    spec.n_instances = 400
+    spec.window_size = 100
+    spec.pretrain_size = 50
+    spec.drift_tolerance = 200
+    spec.__post_init__()
+    client = FakeClient()
+    backend = ClusterBackend(client_factory=lambda: client)
+    pipeline = ProtocolPipeline(spec, str(tmp_path / "results"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a healthy fake cluster never warns
+        summary = pipeline.run(backend=backend)
+    assert summary.n_executed == 2
+    assert summary.n_failed == 0
+    assert pipeline.status().done

@@ -11,8 +11,17 @@ from __future__ import annotations
 import pytest
 
 from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.sharded_store import ShardedResultsStore
 from repro.protocol.spec import ProtocolSpec
 from repro.protocol.store import ResultsStore
+
+#: Both ResultsStoreProtocol implementations; resume semantics are a store
+#: contract, so the shared tests run against each.
+STORE_KINDS = {"json": ResultsStore, "sharded": ShardedResultsStore}
+
+
+def make_store(kind: str, root):
+    return STORE_KINDS[kind](root)
 
 
 def quick_spec() -> ProtocolSpec:
@@ -73,9 +82,10 @@ def test_interrupted_run_resumes_without_recomputing(tmp_path):
     assert store.get(done_key) == first_record
 
 
-def test_completed_run_is_fully_cached(tmp_path):
+@pytest.mark.parametrize("store_kind", sorted(STORE_KINDS))
+def test_completed_run_is_fully_cached(tmp_path, store_kind):
     spec = quick_spec()
-    pipeline = ProtocolPipeline(spec, ResultsStore(tmp_path / "results"))
+    pipeline = ProtocolPipeline(spec, make_store(store_kind, tmp_path / "results"))
     first = pipeline.run(backend="serial")
     assert first.n_executed == 2
 
@@ -85,8 +95,9 @@ def test_completed_run_is_fully_cached(tmp_path):
     assert again.executed_keys == []
 
 
-def test_changed_run_parameters_invalidate_the_cache(tmp_path):
-    store = ResultsStore(tmp_path / "results")
+@pytest.mark.parametrize("store_kind", sorted(STORE_KINDS))
+def test_changed_run_parameters_invalidate_the_cache(tmp_path, store_kind):
+    store = make_store(store_kind, tmp_path / "results")
     spec = quick_spec()
     ProtocolPipeline(spec, store).run(backend="serial")
 
@@ -125,9 +136,10 @@ def test_changed_classifier_invalidates_the_cache(tmp_path):
     assert ProtocolPipeline(spec, store).status().done
 
 
-def test_failed_cells_are_retried_by_default(tmp_path):
+@pytest.mark.parametrize("store_kind", sorted(STORE_KINDS))
+def test_failed_cells_are_retried_by_default(tmp_path, store_kind):
     spec = quick_spec()
-    store = ResultsStore(tmp_path / "results")
+    store = make_store(store_kind, tmp_path / "results")
     pipeline = ProtocolPipeline(spec, store)
     pipeline.run(backend="serial")
 
@@ -145,9 +157,10 @@ def test_failed_cells_are_retried_by_default(tmp_path):
     assert store.get(key)["error"] is None
 
 
-def test_max_cells_caps_one_invocation(tmp_path):
+@pytest.mark.parametrize("store_kind", sorted(STORE_KINDS))
+def test_max_cells_caps_one_invocation(tmp_path, store_kind):
     spec = quick_spec()
-    pipeline = ProtocolPipeline(spec, ResultsStore(tmp_path / "results"))
+    pipeline = ProtocolPipeline(spec, make_store(store_kind, tmp_path / "results"))
     summary = pipeline.run(backend="serial", max_cells=1)
     assert summary.n_executed == 1
     assert pipeline.status().n_completed == 1
@@ -157,9 +170,10 @@ def test_max_cells_caps_one_invocation(tmp_path):
     assert pipeline.status().done
 
 
-def test_records_carry_protocol_metadata(tmp_path):
+@pytest.mark.parametrize("store_kind", sorted(STORE_KINDS))
+def test_records_carry_protocol_metadata(tmp_path, store_kind):
     spec = quick_spec()
-    pipeline = ProtocolPipeline(spec, ResultsStore(tmp_path / "results"))
+    pipeline = ProtocolPipeline(spec, make_store(store_kind, tmp_path / "results"))
     pipeline.run(backend="serial")
     records = pipeline.completed_records()
     assert len(records) == 2

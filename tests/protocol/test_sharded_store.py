@@ -1,0 +1,396 @@
+"""The sharded results store: round-trips, crashes, compaction, parity, speed.
+
+Holds :class:`ShardedResultsStore` to the exact contract of the single-file
+store — any visible record is complete, any interrupted write (torn segment
+tail, killed compaction) is invisible or redundant, never corrupting — plus
+the properties that justify its existence: ``statuses()`` answers from the
+index without parsing per-cell files, and a full pipeline run over it is
+record-for-record identical to the single-file store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.pipeline import ProtocolPipeline
+from repro.protocol.sharded_store import ShardedResultsStore
+from repro.protocol.spec import ProtocolSpec
+from repro.protocol.store import ResultsStore
+
+# JSON-representable values (round-trippable: no NaN, no non-string keys).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=15), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+_records = st.dictionaries(st.text(max_size=20), _json_values, max_size=8)
+_keys = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=".-_"
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+#: Record fields that legitimately differ between two runs of the same cell.
+_VOLATILE = ("wall_time", "detector_time", "classifier_time")
+
+
+def _stable(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k not in _VOLATILE}
+
+
+def quick_spec() -> ProtocolSpec:
+    spec = ProtocolSpec.quick()
+    spec.n_instances = 400
+    spec.window_size = 100
+    spec.pretrain_size = 50
+    spec.drift_tolerance = 200
+    spec.__post_init__()
+    return spec
+
+
+# --------------------------------------------------------------- round trips
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(key=_keys, record=_records)
+def test_round_trip(tmp_path_factory, key, record):
+    store = ShardedResultsStore(tmp_path_factory.mktemp("store"))
+    store.put(key, record)
+    assert key in store
+    assert store.get(key) == record
+    # A fresh store over the same directory (process-restart analogue) sees
+    # the identical record — before AND after compaction.
+    assert ShardedResultsStore(store.root).get(key) == record
+    store.compact()
+    reopened = ShardedResultsStore(store.root)
+    assert reopened.get(key) == record
+    assert reopened.keys() == [key]
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(first=_records, second=_records)
+def test_put_overwrites_last_wins_across_compaction(tmp_path_factory, first, second):
+    store = ShardedResultsStore(tmp_path_factory.mktemp("store"))
+    store.put("cell", first)
+    store.compact()
+    store.put("cell", second)  # segment overlays the index
+    assert store.get("cell") == second
+    assert len(store) == 1
+    store.compact()
+    assert store.get("cell") == second
+
+
+# ------------------------------------------------------- corruption tolerance
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(record=_records, cut=st.integers(min_value=1, max_value=400))
+def test_torn_segment_tail_reads_as_absent(tmp_path_factory, record, cut):
+    """SIGKILL mid-append leaves a torn last line: that record (and only
+    that record) reads as absent; earlier lines in the segment survive."""
+    store = ShardedResultsStore(tmp_path_factory.mktemp("store"))
+    store.put("intact", {"v": 1})
+    segment = store.put("victim", record)
+    store.close()
+
+    payload = segment.read_bytes()
+    intact_len = payload.index(b"\n") + 1
+    torn = payload[: max(intact_len, len(payload) - cut)]
+    segment.write_bytes(torn)
+
+    reloaded = ShardedResultsStore(store.root)
+    assert reloaded.get("intact") == {"v": 1}
+    victim = reloaded.get("victim")
+    # Truncation that only ate the trailing newline leaves a complete record.
+    assert victim is None or victim == record
+    if victim is None:
+        assert "victim" not in reloaded.statuses()
+        # The pipeline's response is to recompute and re-put: that heals it.
+        reloaded.put("victim", record)
+        assert reloaded.get("victim") == record
+
+
+def test_mid_segment_garbage_is_skipped(tmp_path):
+    store = ShardedResultsStore(tmp_path / "store")
+    segment = store.put("a", {"v": 1})
+    store.close()
+    with open(segment, "ab") as handle:
+        handle.write(b"\x00\xffnot json at all\n")
+        handle.write(b'{"k": 42, "r": {"bad": "key type"}}\n')
+        handle.write(b'["not", "an", "object"]\n')
+    store.put("b", {"v": 2})
+    assert dict(store.records()) == {"a": {"v": 1}, "b": {"v": 2}}
+    store.compact()
+    assert dict(store.records()) == {"a": {"v": 1}, "b": {"v": 2}}
+
+
+def test_unreadable_index_is_treated_as_absent_not_fatal(tmp_path):
+    store = ShardedResultsStore(tmp_path / "store")
+    store.put("a", {"v": 1})
+    store.compact()
+    store.index_path.write_bytes(b"this is not a sqlite database")
+    reloaded = ShardedResultsStore(store.root)
+    assert reloaded.get("a") is None  # absent, like any corrupt record
+    reloaded.put("a", {"v": 2})  # recompute-and-heal still works...
+    assert reloaded.get("a") == {"v": 2}
+    reloaded.compact()  # ...and compaction rebuilds a valid index
+    assert ShardedResultsStore(store.root).get("a") == {"v": 2}
+
+
+# ------------------------------------------------------- killed compactions
+def test_kill_before_index_replace_loses_nothing(tmp_path, monkeypatch):
+    """Dying before os.replace leaves the old store fully intact."""
+    store = ShardedResultsStore(tmp_path / "store")
+    records = {f"k{i}": {"v": i} for i in range(5)}
+    store.put_many(records.items())
+    store.compact()
+    store.put("k5", {"v": 5})
+    records["k5"] = {"v": 5}
+
+    real_replace = os.replace
+
+    def dies(src, dst):
+        raise KeyboardInterrupt("simulated kill mid-compaction")
+
+    monkeypatch.setattr(os, "replace", dies)
+    with pytest.raises(KeyboardInterrupt):
+        store.compact()
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    reloaded = ShardedResultsStore(store.root)
+    assert dict(reloaded.records()) == records
+    reloaded.compact()  # the stray tmp database is cleaned up here
+    assert dict(reloaded.records()) == records
+    assert not list(reloaded.root.glob(".tmp-*"))
+    assert not list((reloaded.root / "segments").iterdir())
+
+
+def test_kill_between_replace_and_segment_unlink_dedupes(tmp_path, monkeypatch):
+    """Dying after the new index is visible but before the folded segments
+    are unlinked leaves duplicates that reads dedupe and compaction removes."""
+    store = ShardedResultsStore(tmp_path / "store")
+    records = {f"k{i}": {"v": i} for i in range(5)}
+    store.put_many(records.items())
+
+    real_unlink = os.unlink
+    index_name = store.index_path.name
+
+    def dies(path, *args, **kwargs):
+        if str(path).endswith(".jsonl"):
+            raise KeyboardInterrupt("simulated kill mid-compaction")
+        return real_unlink(path, *args, **kwargs)
+
+    monkeypatch.setattr(os, "unlink", dies)
+    with pytest.raises(KeyboardInterrupt):
+        store.compact()
+    monkeypatch.setattr(os, "unlink", real_unlink)
+
+    # Index and segments now both hold every record; the merge dedupes.
+    reloaded = ShardedResultsStore(store.root)
+    assert (reloaded.root / index_name).is_file()
+    assert list((reloaded.root / "segments").iterdir())
+    assert dict(reloaded.records()) == records
+
+    reloaded.compact()
+    assert dict(reloaded.records()) == records
+    assert not list((reloaded.root / "segments").iterdir())
+
+
+# ------------------------------------------------------------ pipeline parity
+def test_pipeline_parity_with_single_file_store(tmp_path):
+    """Both stores, same spec: identical keys and identical stable records."""
+    spec = quick_spec()
+    json_store = ResultsStore(tmp_path / "json")
+    sharded = ShardedResultsStore(tmp_path / "sharded")
+    ProtocolPipeline(spec, json_store).run(backend="serial")
+    pipeline = ProtocolPipeline(spec, sharded)
+    pipeline.run(backend="serial")
+
+    assert sharded.keys() == json_store.keys()
+    assert pipeline.status().done
+
+    json_records = dict(json_store.records())
+    for key, record in sharded.records():
+        assert _stable(record) == _stable(json_records[key])
+
+    # Compaction changes the layout, not the contents — and completed_records
+    # (the report's input) agrees with the single-file pipeline's.
+    sharded.compact()
+    json_completed = ProtocolPipeline(spec, json_store).completed_records()
+    sharded_completed = ProtocolPipeline(spec, sharded).completed_records()
+    assert [_stable(r) for r in sharded_completed] == [
+        _stable(r) for r in json_completed
+    ]
+
+
+def test_pipeline_resume_on_sharded_store(tmp_path):
+    """Interrupt after one persisted cell; the re-run computes only the rest."""
+
+    class KillAfterOne:
+        seen = 0
+
+        def __call__(self, cell_result):
+            KillAfterOne.seen += 1
+            if KillAfterOne.seen >= 1:
+                raise KeyboardInterrupt("simulated kill")
+
+    spec = quick_spec()
+    store = ShardedResultsStore(tmp_path / "results")
+    pipeline = ProtocolPipeline(spec, store)
+    with pytest.raises(KeyboardInterrupt):
+        pipeline.run(backend="serial", progress=KillAfterOne())
+
+    status = pipeline.status()
+    assert status.n_completed == 1
+    assert status.n_pending == 1
+    (done_key,) = [key for _, key in pipeline.cells() if store.get(key) is not None]
+    first_record = store.get(done_key)
+
+    summary = pipeline.run(backend="serial")
+    assert summary.n_skipped == 1
+    assert summary.n_executed == 1
+    assert done_key not in summary.executed_keys
+    assert pipeline.status().done
+    # The surviving record was not recomputed (byte-equal, volatile included).
+    assert store.get(done_key) == first_record
+
+
+def test_pipeline_resume_across_compaction(tmp_path):
+    spec = quick_spec()
+    store = ShardedResultsStore(tmp_path / "results")
+    pipeline = ProtocolPipeline(spec, store)
+    pipeline.run(backend="serial", max_cells=1)
+    store.compact()
+    summary = ProtocolPipeline(spec, ShardedResultsStore(store.root)).run(
+        backend="serial"
+    )
+    assert summary.n_skipped == 1
+    assert summary.n_executed == 1
+
+
+def test_failed_records_are_retried_and_replaced(tmp_path):
+    spec = quick_spec()
+    store = ShardedResultsStore(tmp_path / "results")
+    pipeline = ProtocolPipeline(spec, store)
+    pipeline.run(backend="serial")
+
+    _, key = pipeline.cells()[0]
+    record = store.get(key)
+    record["error"] = "Traceback (most recent call last): boom"
+    store.put(key, record)
+    assert len(pipeline.pending(retry_failed=False)) == 0
+    assert len(pipeline.pending(retry_failed=True)) == 1
+
+    summary = pipeline.run(backend="serial")
+    assert summary.n_executed == 1
+    assert store.get(key)["error"] is None
+
+
+# ------------------------------------------------------------ strict records
+def test_appends_are_strict_json_lines(tmp_path):
+    store = ShardedResultsStore(tmp_path / "store")
+    segment = store.put(
+        "cell", {"wall_time": float("nan"), "delay": float("inf"), "ok": 1.5}
+    )
+    store.close()
+
+    def reject(token):
+        raise AssertionError(f"non-strict constant {token!r}")
+
+    for line in segment.read_text(encoding="utf-8").splitlines():
+        json.loads(line, parse_constant=reject)
+    assert store.get("cell") == {"wall_time": None, "delay": None, "ok": 1.5}
+    store.compact()
+    row = sqlite3.connect(store.index_path).execute(
+        "SELECT record FROM records"
+    ).fetchone()
+    json.loads(row[0], parse_constant=reject)
+
+
+def test_legacy_nan_lines_still_read(tmp_path):
+    """Segments written before the strict-JSON fix must stay readable."""
+    store = ShardedResultsStore(tmp_path / "store")
+    legacy = store.root / "segments" / "seg-0-legacy.jsonl"
+    legacy.write_text('{"k": "old", "r": {"wall_time": NaN}}\n', encoding="utf-8")
+    record = store.get("old")
+    assert record is not None and record["wall_time"] != record["wall_time"]
+    store.compact()  # re-serialised strictly
+    assert ShardedResultsStore(store.root).get("old") == {"wall_time": None}
+
+
+# ------------------------------------------------------------------ indexing
+def test_statuses_scale_via_index_not_per_file_parses(tmp_path):
+    """status() over 10k cells answers from the index >=20x faster than the
+    single-file store's file-per-key parse loop."""
+    n = 10_000
+    record = {
+        "error": None,
+        "pmauc": 0.5,
+        "detections": [100, 200, 300],
+        "drift_report": {"mean_delay": 12.5, "n_detected": 3},
+    }
+    payload = json.dumps(record)
+
+    json_root = tmp_path / "json-store"
+    json_root.mkdir()
+    keys = [f"cell-{i:05d}" for i in range(n)]
+    for key in keys:
+        (json_root / f"{key}.json").write_text(payload, encoding="utf-8")
+    json_store = ResultsStore(json_root)
+
+    sharded = ShardedResultsStore(tmp_path / "sharded")
+    sharded.put_many((key, record) for key in keys)
+    sharded.compact()
+
+    started = time.perf_counter()
+    parsed = {key: json_store.get(key) is not None for key in keys}
+    per_file_seconds = time.perf_counter() - started
+    assert all(parsed.values())
+
+    indexed_seconds = float("inf")
+    for _ in range(3):  # best-of-3 to shrug off scheduler noise
+        started = time.perf_counter()
+        statuses = sharded.statuses()
+        indexed_seconds = min(indexed_seconds, time.perf_counter() - started)
+    assert len(statuses) == n and all(statuses.values())
+
+    assert per_file_seconds >= 20 * indexed_seconds, (
+        f"indexed statuses() not >=20x faster: per-file {per_file_seconds:.3f}s "
+        f"vs indexed {indexed_seconds:.4f}s"
+    )
+
+
+def test_get_many_prefers_segment_overlay(tmp_path):
+    store = ShardedResultsStore(tmp_path / "store")
+    store.put_many([("a", {"v": 1}), ("b", {"v": 2})])
+    store.compact()
+    store.put("b", {"v": 22})
+    store.discard("a")
+    assert store.get_many(["a", "b", "ghost"]) == {"b": {"v": 22}}

@@ -120,6 +120,106 @@ def test_put_overwrites_atomically(tmp_path_factory, first, second):
     assert len(store) == 1
 
 
+def test_put_serialises_nonfinite_floats_as_null(tmp_path: Path):
+    """Records with nan/inf metrics must land on disk as strict JSON.
+
+    Broken-pool failures record ``wall_time=nan`` and empty drift reports a
+    ``mean_delay`` of nan; ``json.dumps`` would emit bare ``NaN``, which
+    sqlite/parquet/jq all reject.
+    """
+    store = ResultsStore(tmp_path)
+    store.put(
+        "cell",
+        {
+            "wall_time": float("nan"),
+            "drift_report": {"mean_delay": float("inf"), "n_detected": 0},
+            "detections": [1.0, float("-inf")],
+        },
+    )
+
+    def reject(token):
+        raise AssertionError(f"non-strict JSON constant {token!r}")
+
+    payload = store.path_for("cell").read_text(encoding="utf-8")
+    record = json.loads(payload, parse_constant=reject)
+    assert record == store.get("cell")
+    assert record["wall_time"] is None
+    assert record["drift_report"]["mean_delay"] is None
+    assert record["detections"] == [1.0, None]
+
+
+def test_legacy_nan_records_still_read(tmp_path: Path):
+    """Stores written before the strict-serialisation fix stay readable."""
+    store = ResultsStore(tmp_path)
+    store.path_for("old").write_text('{"wall_time": NaN}', encoding="utf-8")
+    record = store.get("old")
+    assert record is not None
+    assert record["wall_time"] != record["wall_time"]  # i.e. it parsed as nan
+    assert store.statuses() == {"old": True}
+
+
+def test_atomic_write_fsyncs_the_directory(tmp_path: Path, monkeypatch):
+    """os.replace is followed by a directory fsync (POSIX), so a completed
+    record's rename survives power failure, not just its bytes."""
+    import os
+
+    from repro.protocol import store as store_module
+
+    synced_dirs = []
+    real_fsync_dir = store_module._fsync_dir
+
+    def spying(directory):
+        synced_dirs.append(Path(directory))
+        real_fsync_dir(directory)
+
+    monkeypatch.setattr(store_module, "_fsync_dir", spying)
+    store = ResultsStore(tmp_path / "results")
+    store.put("cell", {"v": 1})
+    assert store.root in synced_dirs
+
+    # And the guard itself is harmless where directories cannot be fsynced.
+    if hasattr(os, "O_DIRECTORY"):
+        real_fsync_dir(tmp_path / "does-not-exist")  # no raise
+
+
+def test_sharded_appends_and_compaction_fsync(tmp_path: Path, monkeypatch):
+    """Segment appends fsync the data; segment creation and compaction fsync
+    the directory entries (same durability discipline as the atomic writes)."""
+    import os
+
+    from repro.protocol import sharded_store as sharded_module
+    from repro.protocol.sharded_store import ShardedResultsStore
+
+    synced_fds = []
+    real_fsync = os.fsync
+
+    def spying_fsync(fd):
+        synced_fds.append(fd)
+        real_fsync(fd)
+
+    synced_dirs = []
+    real_fsync_dir = sharded_module._fsync_dir
+
+    def spying_dir(directory):
+        synced_dirs.append(Path(directory))
+        real_fsync_dir(directory)
+
+    monkeypatch.setattr(os, "fsync", spying_fsync)
+    monkeypatch.setattr(sharded_module, "_fsync_dir", spying_dir)
+
+    store = ShardedResultsStore(tmp_path / "results")
+    store.put("cell", {"v": 1})
+    assert synced_fds, "segment append was not fsynced"
+    assert store.root / "segments" in synced_dirs
+
+    synced_fds.clear()
+    synced_dirs.clear()
+    store.compact()
+    assert synced_fds, "compacted index was not fsynced"
+    assert store.root in synced_dirs  # the index rename
+    assert store.root / "segments" in synced_dirs  # the segment unlinks
+
+
 def test_cell_keys_stable_across_process_restarts(tmp_path: Path):
     """Keys are pure content hashes: a fresh interpreter derives them bit-equal.
 
