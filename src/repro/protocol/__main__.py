@@ -106,17 +106,60 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         help="results-store layout: 'json' = one atomic file per cell, "
         "'sharded' = append-only segments + sqlite index (use for runs "
         "beyond a few thousand cells; compact with the 'compact' "
-        "subcommand).  'auto' (default) recognises an existing sharded "
-        "store by its layout and otherwise uses 'json'",
+        "subcommand).  'auto' (default) recognises an existing store by "
+        "its layout and otherwise uses 'json'; an explicit format that "
+        "contradicts an existing store's layout is refused rather than "
+        "hiding its records",
+    )
+
+
+def _sharded_layout_present(path: Path) -> bool:
+    """An index, or at least one actual segment file — an *empty*
+    ``segments/`` directory alone is not proof (it could be damage from an
+    aborted invocation against a JSON store)."""
+    if (path / "index.sqlite").is_file():
+        return True
+    segments = path / "segments"
+    return segments.is_dir() and any(segments.glob("seg-*.jsonl"))
+
+
+def _json_records_present(path: Path) -> bool:
+    return any(
+        entry.name != "spec.json" and not entry.name.startswith(".tmp-")
+        for entry in path.glob("*.json")
     )
 
 
 def _open_store(args: argparse.Namespace) -> ResultsStoreProtocol:
     path: Path = args.store
     fmt: str = args.store_format
+    has_sharded = _sharded_layout_present(path)
+    has_json = _json_records_present(path)
     if fmt == "auto":
-        is_sharded = (path / "segments").is_dir() or (path / "index.sqlite").is_file()
-        fmt = "sharded" if is_sharded else "json"
+        if has_sharded:
+            fmt = "sharded"
+        elif has_json:
+            fmt = "json"
+        else:
+            # A bare segments/ dir with no records on either side: a fresh
+            # sharded store whose first write hasn't landed yet.
+            fmt = "sharded" if (path / "segments").is_dir() else "json"
+    elif fmt == "sharded" and has_json and not has_sharded:
+        # Opening a populated JSON store as sharded would hide every
+        # existing record and silently recompute the whole spec.
+        raise SystemExit(
+            f"{path} already holds a one-file-per-cell JSON store; opening "
+            "it with --store-format sharded would hide every existing "
+            "record.  Use --store-format auto/json, or point --store at a "
+            "fresh directory."
+        )
+    elif fmt == "json" and has_sharded:
+        raise SystemExit(
+            f"{path} already holds a sharded store; opening it with "
+            "--store-format json would hide every existing record.  Use "
+            "--store-format auto/sharded, or point --store at a fresh "
+            "directory."
+        )
     if fmt == "sharded":
         return ShardedResultsStore(path)
     return ResultsStore(path)

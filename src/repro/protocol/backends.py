@@ -16,9 +16,10 @@ execution strategy declaratively:
   cannot be pickled degrade to ``thread`` with a :class:`RuntimeWarning`;
 * ``cluster`` — the dask-style client/cluster lifecycle: explicit
   :meth:`~ClusterBackend.connect`, a worker health check before (and during)
-  the run, per-cell retry when a worker is lost mid-cell, and **graceful
-  degradation to local execution** — a warning, never a failure — when no
-  cluster is reachable.  The real client is ``distributed.Client`` when the
+  the run, per-cell retry when a worker is lost mid-cell, results gathered
+  in completion order (finished cells persist immediately instead of
+  queueing behind earlier submissions), and **graceful degradation to local
+  execution** — a warning, never a failure — when no cluster is reachable.  The real client is ``distributed.Client`` when the
   optional ``dask.distributed`` package is importable; any object with the
   same ``submit`` / ``scheduler_info`` / ``close`` surface works, which is
   also how the backend is tested without a cluster.
@@ -30,9 +31,9 @@ Third parties register their own strategies with :func:`register_backend`;
 
 from __future__ import annotations
 
+import time
 import traceback
 import warnings
-from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -308,6 +309,9 @@ class ClusterBackend:
     max_retries:
         Per-cell resubmissions after a lost worker before the cell is
         recorded as failed (mirrors the process pool's broken-pool budget).
+    poll_interval:
+        Seconds between ``future.done()`` sweeps while gathering results in
+        completion order.
     """
 
     name = "cluster"
@@ -319,6 +323,7 @@ class ClusterBackend:
         fallback: str = "process",
         connect_timeout: float = 5.0,
         max_retries: int = _MAX_BROKEN_RETRIES,
+        poll_interval: float = 0.05,
     ) -> None:
         self._address = address
         self._client_factory = client_factory or _default_client_factory(
@@ -326,6 +331,7 @@ class ClusterBackend:
         )
         self._fallback = fallback
         self._max_retries = max_retries
+        self._poll_interval = poll_interval
         self._lost_errors = _lost_worker_errors()
         self._client: "object | None" = None
         self._connect_error: "BaseException | None" = None
@@ -390,14 +396,29 @@ class ClusterBackend:
         finally:
             self.close()
 
+    @staticmethod
+    def _future_done(future) -> bool:
+        """Non-blocking readiness poll.  Futures that cannot be polled (no
+        ``done`` method, or one that raises) are treated as ready, which
+        degrades to a blocking submission-order gather for that client."""
+        done = getattr(future, "done", None)
+        if done is None:
+            return True
+        try:
+            return bool(done())
+        except Exception:
+            return True
+
     def _run_on_cluster(self, client, tasks, max_workers, progress):
         """Submit every cell; retry cells whose worker was lost mid-flight.
 
-        Results are gathered in submission order (each ``future.result()``
-        blocks while the rest keep running on the cluster), so ``progress``
-        fires in submission order here.  If the cluster loses its last
-        worker mid-run, the unfinished remainder degrades to the local
-        fallback instead of failing.
+        Results are gathered in **completion order** (polling ``done()``
+        futures), so each finished cell reaches ``progress`` — and is
+        therefore persisted by the pipeline — the moment it completes,
+        never queued behind an earlier-submitted cell still running: a kill
+        mid-run loses only cells genuinely in flight.  If the cluster loses
+        its last worker mid-run, the unfinished remainder degrades to the
+        local fallback instead of failing.
         """
         by_index: dict[int, GridCellResult] = {}
         retries: dict[int, int] = {}
@@ -406,54 +427,63 @@ class ClusterBackend:
             return client.submit(_execute_cell, *tasks[index].args())
 
         pending = {index: submit(index) for index in range(len(tasks))}
-        order = deque(range(len(tasks)))
-        while order:
-            index = order.popleft()
-            future = pending.pop(index)
-            try:
-                cell_result = future.result()
-            except self._lost_errors:
-                retries[index] = retries.get(index, 0) + 1
-                if not self.healthy(client):
-                    # The cluster is gone; finish the remainder locally
-                    # rather than failing cells that never got to run.
-                    remainder = [index, *order]
-                    warnings.warn(
-                        f"cluster backend: cluster became unhealthy with "
-                        f"{len(remainder)} cells unfinished; degrading the "
-                        f"remainder to local {self._fallback!r} execution",
-                        RuntimeWarning,
-                        stacklevel=3,
+        while pending:
+            ready = [
+                index
+                for index in sorted(pending)
+                if self._future_done(pending[index])
+            ]
+            if not ready:
+                time.sleep(self._poll_interval)
+                continue
+            unhealthy_at: "int | None" = None
+            for index in ready:
+                future = pending.pop(index)
+                try:
+                    cell_result = future.result()
+                except self._lost_errors:
+                    retries[index] = retries.get(index, 0) + 1
+                    if not self.healthy(client):
+                        # The cluster is gone; finish the remainder locally
+                        # rather than failing cells that never got to run.
+                        unhealthy_at = index
+                        break
+                    if retries[index] <= self._max_retries:
+                        # Resubmit on the (still healthy) cluster.
+                        pending[index] = submit(index)
+                        continue
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
                     )
-                    local = make_backend(self._fallback).run(
-                        [tasks[i] for i in remainder],
-                        max_workers=max_workers,
-                        progress=progress,
+                except Exception:  # the cell itself raised on the worker
+                    cell_result = GridCellResult(
+                        cell=tasks[index].cell,
+                        result=None,
+                        wall_time=float("nan"),
+                        error=traceback.format_exc(),
                     )
-                    by_index.update(zip(remainder, local))
-                    break
-                if retries[index] <= self._max_retries:
-                    # Resubmit on the (still healthy) cluster; repeat
-                    # offenders drain last, as in the broken-pool path.
-                    pending[index] = submit(index)
-                    order.append(index)
-                    continue
-                cell_result = GridCellResult(
-                    cell=tasks[index].cell,
-                    result=None,
-                    wall_time=float("nan"),
-                    error=traceback.format_exc(),
+                by_index[index] = cell_result
+                if progress is not None:
+                    progress(cell_result)
+            if unhealthy_at is not None:
+                remainder = sorted({unhealthy_at, *pending})
+                warnings.warn(
+                    f"cluster backend: cluster became unhealthy with "
+                    f"{len(remainder)} cells unfinished; degrading the "
+                    f"remainder to local {self._fallback!r} execution",
+                    RuntimeWarning,
+                    stacklevel=3,
                 )
-            except Exception:  # the cell itself raised on the worker
-                cell_result = GridCellResult(
-                    cell=tasks[index].cell,
-                    result=None,
-                    wall_time=float("nan"),
-                    error=traceback.format_exc(),
+                local = make_backend(self._fallback).run(
+                    [tasks[i] for i in remainder],
+                    max_workers=max_workers,
+                    progress=progress,
                 )
-            by_index[index] = cell_result
-            if progress is not None:
-                progress(cell_result)
+                by_index.update(zip(remainder, local))
+                break
         return [by_index[index] for index in range(len(tasks))]
 
 

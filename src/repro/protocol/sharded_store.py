@@ -12,19 +12,31 @@ structured layout::
       spec.json            # provenance copy of the spec (atomic write)
       index.sqlite         # compacted records, one row per key
       segments/
-        seg-<pid>-<token>.jsonl   # append-only, one record per line
+        seg-<created_ns>-<pid>-<token>.jsonl   # append-only, 1 record/line
 
-**Writes** append one strict-JSON line (``{"k": key, "r": record}``) to the
-writer's own segment file and fsync it; the segment's directory entry is
-fsynced when the segment is created.  A crash mid-append leaves a torn last
-line, which readers treat as absent — exactly the corruption tolerance of
-the single-file store, so SIGKILL at any point loses at most the in-flight
-record.  ``record: null`` lines are tombstones (:meth:`discard`).
+Nothing is created before the first write: merely *opening* a directory as
+a sharded store (``status`` against a JSON store, say) must not scaffold a
+layout that later confuses store-format auto-detection.
 
-**Reads** merge the sqlite index with every live segment, segments winning
-(sorted segment order, later lines within a segment win — i.e. last write
-wins for the store's single-writer-per-process discipline).  ``statuses()``
-never parses record payloads for indexed rows: completion state is a column.
+**Writes** append one strict-JSON line (``{"k": key, "r": record,
+"t": <write_ns>}``) to the writer's own segment file and fsync it; the
+segment's directory entry is fsynced when the segment is created.  A crash
+mid-append leaves a torn last line, which readers treat as absent — exactly
+the corruption tolerance of the single-file store, so SIGKILL at any point
+loses at most the in-flight record.  ``record: null`` lines are tombstones
+(:meth:`discard`).
+
+**Reads** merge the sqlite index with every live segment, segments winning.
+Among segment lines, *write time* decides: lines are ordered by their
+``t`` stamp (never reordering lines within a file), so last write wins by
+wall clock, not by filename — a resumed run's segment must override an
+older run's record (a retried failure, a tombstone) even though its
+pid/uuid may sort lexicographically first.  Legacy lines without a stamp
+inherit their segment's creation time (from the filename, else the file
+mtime).  ``statuses()`` never parses record payloads for indexed rows:
+completion state is a column.  Each store instance keeps an in-memory
+overlay of its own appends plus a parse cache of foreign segments keyed by
+(size, mtime), so per-key ``get()`` loops cost no re-reads between writes.
 
 **Compaction** (:meth:`compact`) folds the old index plus every segment into
 a fresh sqlite database built as a ``.tmp-*`` sibling, fsyncs it,
@@ -46,6 +58,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import time
 import uuid
 from pathlib import Path
 from typing import IO, Iterable, Iterator
@@ -76,9 +89,14 @@ class ShardedResultsStore:
     def __init__(self, root: "str | os.PathLike[str]") -> None:
         self._root = Path(root)
         self._segments = self._root / _SEGMENT_DIR
-        self._segments.mkdir(parents=True, exist_ok=True)
         self._segment_path: "Path | None" = None
         self._segment_file: "IO[str] | None" = None
+        # This instance's own appends, in order: (write_ns, key, record).
+        self._own_entries: list[tuple[int, str, "dict | None"]] = []
+        # Parsed foreign segments keyed by path -> ((size, mtime_ns), entries).
+        self._entry_cache: dict[
+            Path, tuple[tuple[int, int], list[tuple["int | None", str, "dict | None"]]]
+        ] = {}
 
     @property
     def root(self) -> Path:
@@ -95,38 +113,59 @@ class ShardedResultsStore:
 
     def put_many(self, items: Iterable[tuple[str, dict]]) -> Path:
         """Append many records with a single fsync (bulk-load fast path)."""
-        lines = [
-            dumps_strict({"k": key, "r": record}, sort_keys=True)
-            for key, record in items
-        ]
-        return self._append_lines(lines)
+        return self._append_entries(list(items))
 
     def discard(self, key: str) -> bool:
         """Tombstone ``key``; returns whether a record was visible before."""
         existed = self.get(key) is not None
         if existed:
-            self._append_lines([dumps_strict({"k": key, "r": None})])
+            self._append_entries([(key, None)])
         return existed
 
     def save_spec(self, spec_json: str) -> Path:
-        """Persist a provenance copy of the spec alongside the records."""
+        """Persist a provenance copy of the spec alongside the records.
+
+        Also scaffolds ``segments/``: save_spec runs at the start of every
+        pipeline run, so a run killed before its first record still leaves
+        a sharded layout for store-format auto-detection to resume with.
+        """
+        self._segments.mkdir(parents=True, exist_ok=True)
+        _fsync_dir(self._root)
         path = self._root / "spec.json"
         _atomic_write_text(self._root, path, spec_json)
         return path
 
-    def _append_lines(self, lines: list[str]) -> Path:
+    def _append_entries(
+        self, entries: "list[tuple[str, dict | None]]"
+    ) -> Path:
+        # The per-line write stamp is what makes last-write-wins temporal
+        # across segments (a resumed run's pid can sort before an old run's).
+        stamped = [
+            (time.time_ns(), key, record) for key, record in entries
+        ]
+        lines = [
+            dumps_strict({"k": key, "r": record, "t": stamp}, sort_keys=True)
+            for stamp, key, record in stamped
+        ]
         handle = self._writer()
         handle.write("".join(line + "\n" for line in lines))
         handle.flush()
         os.fsync(handle.fileno())
+        self._own_entries.extend(stamped)
         assert self._segment_path is not None
         return self._segment_path
 
     def _writer(self) -> "IO[str]":
-        """This store instance's own segment, opened lazily on first append."""
+        """This store instance's own segment, opened lazily on first append.
+
+        The layout (``root/segments/``) is created here, on the first write,
+        never in ``__init__``: read-only opens must leave no trace.
+        """
         if self._segment_file is None:
+            self._segments.mkdir(parents=True, exist_ok=True)
+            _fsync_dir(self._root)
             name = (
-                f"{_SEGMENT_PREFIX}{os.getpid()}-"
+                f"{_SEGMENT_PREFIX}{time.time_ns():020d}-{os.getpid()}-"
                 f"{uuid.uuid4().hex[:12]}{_SEGMENT_SUFFIX}"
             )
             self._segment_path = self._segments / name
@@ -143,6 +182,7 @@ class ShardedResultsStore:
             self._segment_file.close()
             self._segment_file = None
             self._segment_path = None
+            self._own_entries = []  # the closed file is re-read from disk
 
     # ------------------------------------------------------------- read API
     def get(self, key: str) -> "dict | None":
@@ -233,6 +273,7 @@ class ShardedResultsStore:
         removes.  Run it from a single process while no writer is active.
         """
         self.close()  # fold our own segment too
+        self._root.mkdir(parents=True, exist_ok=True)
         for stray in self._root.glob(f"{_TMP_PREFIX}*"):
             try:
                 os.unlink(stray)
@@ -240,13 +281,14 @@ class ShardedResultsStore:
                 pass
         segment_paths = self._segment_files()
         merged: dict[str, tuple[int, str]] = dict(self._index_rows())
-        for path in segment_paths:
-            for key, record in self._entries_of(path):
-                if record is None:
-                    merged.pop(key, None)
-                else:
-                    ok = int(record.get("error") is None)
-                    merged[key] = (ok, dumps_strict(record, sort_keys=True))
+        # Temporal write order (see _segment_entries), so the index bakes in
+        # the *newest* record per key, not the lexicographically-last one.
+        for key, record in self._segment_entries():
+            if record is None:
+                merged.pop(key, None)
+            else:
+                ok = int(record.get("error") is None)
+                merged[key] = (ok, dumps_strict(record, sort_keys=True))
 
         descriptor, tmp_name = tempfile.mkstemp(
             prefix=_TMP_PREFIX, suffix=".sqlite", dir=self._root
@@ -281,30 +323,93 @@ class ShardedResultsStore:
             raise
         _fsync_dir(self._root)
         # The folded segments are now redundant; losing power between the
-        # unlinks only leaves duplicates that reads dedupe.
+        # unlinks only leaves duplicates that reads dedupe.  Unlink oldest
+        # first (segment_paths order): a surviving segment must always be at
+        # least as new as everything already removed, or its stale records
+        # would override the index.
         for path in segment_paths:
             try:
                 os.unlink(path)
             except OSError:
                 pass
         _fsync_dir(self._segments)
+        self._entry_cache.clear()
         return self.index_path
 
     # ------------------------------------------------------------ internals
     def _segment_files(self) -> list[Path]:
+        """Live segments, oldest first (creation time, then name).
+
+        Oldest-first also fixes the *unlink* order in :meth:`compact`: a
+        crash between unlinks must never leave an older segment alive after
+        a newer one for the same key has been removed, or the leftover would
+        override the (newer) indexed record on the next read.
+        """
+        if not self._segments.is_dir():
+            return []
         return sorted(
-            self._segments.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+            self._segments.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"),
+            key=lambda path: (self._segment_ns(path), path.name),
         )
 
+    @staticmethod
+    def _segment_ns(path: Path) -> int:
+        """Creation time embedded in the segment name; legacy names (no
+        zero-padded stamp) fall back to the file's mtime."""
+        stamp = path.name[len(_SEGMENT_PREFIX) :].split("-", 1)[0]
+        if len(stamp) == 20 and stamp.isdigit():
+            return int(stamp)
+        try:
+            return path.stat().st_mtime_ns
+        except OSError:
+            return 0
+
     def _segment_entries(self) -> Iterator[tuple[str, "dict | None"]]:
-        """Every (key, record-or-tombstone) across segments, in write order."""
-        if self._segment_file is not None:
-            self._segment_file.flush()  # see our own unfsynced appends
-        for path in self._segment_files():
-            yield from self._entries_of(path)
+        """Every (key, record-or-tombstone) across segments, oldest write
+        first — so a consumer applying "later yields win" gets temporal
+        last-write-wins.
+
+        Ordering key is the per-line write stamp (legacy unstamped lines
+        inherit their segment's creation time), clamped so that lines never
+        reorder *within* a file even across a backwards clock step; ties
+        break by segment age, then line order.
+        """
+        ordered: list[tuple[int, int, int, str, "dict | None"]] = []
+        for seg_order, path in enumerate(self._segment_files()):
+            if path == self._segment_path and self._segment_file is not None:
+                parsed: list = list(self._own_entries)
+            else:
+                parsed = self._parsed_entries(path)
+            seg_ns = self._segment_ns(path)
+            floor = 0
+            for line_order, (stamp, key, record) in enumerate(parsed):
+                floor = max(floor, stamp if stamp is not None else seg_ns)
+                ordered.append((floor, seg_order, line_order, key, record))
+        ordered.sort(key=lambda entry: entry[:3])
+        for _, _, _, key, record in ordered:
+            yield key, record
+
+    def _parsed_entries(
+        self, path: Path
+    ) -> list[tuple["int | None", str, "dict | None"]]:
+        """Parsed lines of a foreign segment, cached by (size, mtime)."""
+        try:
+            stat = path.stat()
+        except OSError:
+            self._entry_cache.pop(path, None)
+            return []
+        signature = (stat.st_size, stat.st_mtime_ns)
+        cached = self._entry_cache.get(path)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        parsed = list(self._entries_of(path))
+        self._entry_cache[path] = (signature, parsed)
+        return parsed
 
     @staticmethod
-    def _entries_of(path: Path) -> Iterator[tuple[str, "dict | None"]]:
+    def _entries_of(
+        path: Path,
+    ) -> Iterator[tuple["int | None", str, "dict | None"]]:
         try:
             data = path.read_bytes()
         except OSError:
@@ -321,8 +426,11 @@ class ShardedResultsStore:
             ):
                 continue
             record = entry.get("r")
+            stamp = entry.get("t")
+            if isinstance(stamp, bool) or not isinstance(stamp, int):
+                stamp = None
             if record is None or isinstance(record, dict):
-                yield entry["k"], record
+                yield stamp, entry["k"], record
 
     def _index_rows(
         self, keys: "Iterable[str] | None" = None

@@ -252,6 +252,46 @@ def test_cluster_degrades_remainder_when_cluster_dies_mid_run():
     assert [r.ok for r in results] == [True, True]
 
 
+def test_cluster_gathers_in_completion_order():
+    """A finished cell must reach progress (and thus be persisted) the
+    moment it completes, not wait behind an earlier-submitted cell still
+    running — otherwise a kill loses completed-but-ungathered results."""
+
+    class ReorderingClient(FakeClient):
+        def __init__(self):
+            super().__init__()
+            self.gathered = []
+
+        def submit(self, fn, *args):
+            self.submissions += 1
+            cell = args[0]
+            client = self
+
+            class PollableFuture:
+                def done(self):
+                    if cell.stream == "slow":
+                        # "slow" only finishes after "fast" was gathered.
+                        return "fast" in client.gathered
+                    return True
+
+                def result(self):
+                    client.gathered.append(cell.stream)
+                    return fn(*args)
+
+            return PollableFuture()
+
+    client = ReorderingClient()
+    backend = ClusterBackend(client_factory=lambda: client, poll_interval=0.001)
+    finished = []
+    results = backend.run(
+        [_task("slow"), _task("fast", seed=1)],
+        progress=lambda r: finished.append(r.cell.stream),
+    )
+    assert finished == ["fast", "slow"]  # completion order, not submission
+    assert [r.cell.stream for r in results] == ["slow", "fast"]  # input order
+    assert all(r.ok for r in results)
+
+
 def test_cluster_default_factory_degrades_without_dask():
     """No dask in the environment: the real default path must warn + run."""
     pytest.importorskip  # (dask is deliberately NOT importable here)

@@ -198,6 +198,53 @@ def test_sharded_round_trip_compact_and_report_agree_with_json(tmp_path):
     assert "2 cached, 0 executed" in again.stdout
 
 
+def test_sharded_flag_refuses_existing_json_store(tmp_path):
+    """--store-format sharded against a populated JSON store must refuse —
+    and must NOT scaffold segments/ or index.sqlite, which would make auto
+    treat the store as sharded and hide every existing record."""
+    store = tmp_path / "results"
+    run_cli("run", "--preset", "quick", "--store", str(store), "--backend", "serial")
+
+    for command in ("status", "report", "compact"):
+        args = [command]
+        if command != "compact":
+            args += ["--preset", "quick"]
+        args += ["--store", str(store), "--store-format", "sharded"]
+        out = run_cli(*args, check=False)
+        assert out.returncode != 0, command
+        assert "JSON store" in out.stderr, command
+        assert not (store / "segments").exists(), command
+        assert not (store / "index.sqlite").exists(), command
+
+    # The store is unharmed: auto still sees every record.
+    status = run_cli("status", "--preset", "quick", "--store", str(store))
+    assert "2 completed, 0 failed, 0 pending" in status.stdout
+
+
+def test_json_flag_refuses_existing_sharded_store(tmp_path):
+    store = tmp_path / "results"
+    run_cli(
+        "run", "--preset", "quick", "--store", str(store),
+        "--store-format", "sharded", "--backend", "serial",
+    )
+    out = run_cli(
+        "status", "--preset", "quick", "--store", str(store),
+        "--store-format", "json", check=False,
+    )
+    assert out.returncode != 0
+    assert "sharded store" in out.stderr
+
+
+def test_auto_prefers_json_records_over_empty_segments_dir(tmp_path):
+    """A stray empty segments/ dir (damage from the old eager-mkdir bug)
+    must not make auto hide an existing JSON store's records."""
+    store = tmp_path / "results"
+    run_cli("run", "--preset", "quick", "--store", str(store), "--backend", "serial")
+    (store / "segments").mkdir()
+    status = run_cli("status", "--preset", "quick", "--store", str(store))
+    assert "2 completed, 0 failed, 0 pending" in status.stdout
+
+
 def test_compact_refuses_non_sharded_store(tmp_path):
     store = tmp_path / "results"
     run_cli("run", "--preset", "quick", "--store", str(store), "--backend", "serial")

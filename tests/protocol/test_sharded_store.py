@@ -338,11 +338,90 @@ def test_legacy_nan_lines_still_read(tmp_path):
     """Segments written before the strict-JSON fix must stay readable."""
     store = ShardedResultsStore(tmp_path / "store")
     legacy = store.root / "segments" / "seg-0-legacy.jsonl"
+    legacy.parent.mkdir(parents=True)
     legacy.write_text('{"k": "old", "r": {"wall_time": NaN}}\n', encoding="utf-8")
     record = store.get("old")
     assert record is not None and record["wall_time"] != record["wall_time"]
     store.compact()  # re-serialised strictly
     assert ShardedResultsStore(store.root).get("old") == {"wall_time": None}
+
+
+# ------------------------------------------------------- temporal ordering
+def test_newer_segments_win_regardless_of_name_sort(tmp_path):
+    """Last-write-wins must follow write time, not filename sort: a resumed
+    run's pid can sort lexicographically *before* the original run's
+    (e.g. pid 102345 after pid 9841, since '1' < '9'), and its retried
+    record must still win — including through compaction."""
+    store = ShardedResultsStore(tmp_path / "store")
+    segments = store.root / "segments"
+    segments.mkdir(parents=True)
+    stale = segments / "seg-9841-oldrun.jsonl"  # legacy name, no stamp
+    fresh = segments / "seg-102345-newrun.jsonl"  # sorts before 'seg-9841-'
+    stale.write_text(
+        '{"k": "cell", "r": {"error": "Traceback: boom"}}\n', encoding="utf-8"
+    )
+    fresh.write_text('{"k": "cell", "r": {"error": null}}\n', encoding="utf-8")
+    past = time.time_ns() - 3_600_000_000_000  # stale really is older
+    os.utime(stale, ns=(past, past))
+
+    assert store.get("cell") == {"error": None}
+    assert store.statuses() == {"cell": True}
+    store.compact()  # must bake the newer record into the index...
+    reopened = ShardedResultsStore(store.root)
+    assert reopened.get("cell") == {"error": None}
+    assert not list(segments.iterdir())  # ...and drop both segments
+
+
+def test_retry_in_fresh_store_instance_overrides_failure(tmp_path):
+    """The resume flow: run 1 records a failure, run 2 (a different writer,
+    therefore a different segment) retries successfully.  The success must
+    win on read and survive compaction."""
+    run1 = ShardedResultsStore(tmp_path / "store")
+    run1.put("cell", {"error": "Traceback: boom"})
+    run1.close()
+    run2 = ShardedResultsStore(tmp_path / "store")
+    run2.put("cell", {"error": None, "pmauc": 0.9})
+    run2.close()
+
+    reloaded = ShardedResultsStore(tmp_path / "store")
+    assert reloaded.get("cell") == {"error": None, "pmauc": 0.9}
+    assert reloaded.statuses() == {"cell": True}
+    reloaded.compact()
+    assert ShardedResultsStore(store_root := reloaded.root).get("cell") == {
+        "error": None,
+        "pmauc": 0.9,
+    }
+    assert ShardedResultsStore(store_root).statuses() == {"cell": True}
+
+
+def test_discard_in_later_store_instance_wins(tmp_path):
+    run1 = ShardedResultsStore(tmp_path / "store")
+    run1.put("cell", {"v": 1})
+    run1.close()
+    run2 = ShardedResultsStore(tmp_path / "store")
+    assert run2.discard("cell")
+    run2.close()
+    reloaded = ShardedResultsStore(tmp_path / "store")
+    assert reloaded.get("cell") is None
+    reloaded.compact()
+    assert ShardedResultsStore(reloaded.root).get("cell") is None
+
+
+# ------------------------------------------------------- deferred layout
+def test_read_only_open_creates_no_layout(tmp_path):
+    """Opening (and reading) a directory as a sharded store must leave no
+    trace — an eagerly-created segments/ dir used to poison store-format
+    auto-detection against existing JSON stores."""
+    root = tmp_path / "store"
+    store = ShardedResultsStore(root)
+    assert store.statuses() == {}
+    assert store.keys() == []
+    assert store.get("anything") is None
+    assert len(store) == 0
+    assert not root.exists()
+    store.put("a", {"v": 1})  # the first write scaffolds the layout
+    assert (root / "segments").is_dir()
+    assert store.get("a") == {"v": 1}
 
 
 # ------------------------------------------------------------------ indexing
