@@ -12,7 +12,10 @@ The package provides:
 * :mod:`repro.evaluation` — the prequential harness, experiment orchestration,
   statistical tests, and online hyper-parameter tuning;
 * :mod:`repro.protocol` — the end-to-end, resumable reproduction of the
-  paper's protocol (``python -m repro.protocol run``).
+  paper's protocol (``python -m repro.protocol run``);
+* :mod:`repro.analysis` — the stdlib-only invariant linter that enforces the
+  repo's determinism / durability / chunk-exactness contracts
+  (``python -m repro.analysis --strict src/repro``).
 
 Quick start::
 
@@ -25,30 +28,48 @@ Quick start::
     runner = PrequentialRunner(default_classifier_factory)
     result = runner.run(scenario, detector, n_instances=10_000)
     print(result.pmauc, result.detections)
+
+The convenience re-exports below resolve lazily (PEP 562): importing
+``repro`` itself pulls in **no third-party dependency**, so the stdlib-only
+:mod:`repro.analysis` linter runs in environments without NumPy (e.g. the
+dependency-free CI lint job).  ``from repro import RBMIM`` still works — the
+heavy subpackage is imported on first attribute access.
 """
 
-from repro.core import RBMIM, RBMIMConfig, SkewInsensitiveRBM
-from repro.evaluation import PrequentialRunner, compare_detectors
-from repro.streams import (
-    make_artificial_stream,
-    real_world_stream,
-    scenario_global_drift,
-    scenario_local_drift,
-    scenario_role_switching,
-)
+from __future__ import annotations
+
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "RBMIM",
-    "RBMIMConfig",
-    "SkewInsensitiveRBM",
-    "PrequentialRunner",
-    "compare_detectors",
-    "make_artificial_stream",
-    "real_world_stream",
-    "scenario_global_drift",
-    "scenario_local_drift",
-    "scenario_role_switching",
-    "__version__",
-]
+#: Lazily-resolved convenience exports: attribute name -> providing module.
+_LAZY_EXPORTS = {
+    "RBMIM": "repro.core",
+    "RBMIMConfig": "repro.core",
+    "SkewInsensitiveRBM": "repro.core",
+    "PrequentialRunner": "repro.evaluation",
+    "compare_detectors": "repro.evaluation",
+    "make_artificial_stream": "repro.streams",
+    "real_world_stream": "repro.streams",
+    "scenario_global_drift": "repro.streams",
+    "scenario_local_drift": "repro.streams",
+    "scenario_role_switching": "repro.streams",
+}
+
+__all__ = [*sorted(_LAZY_EXPORTS), "__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

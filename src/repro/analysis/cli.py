@@ -1,0 +1,135 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit codes: 0 — no error-severity findings; 1 — at least one; 2 — usage
+error.  ``--strict`` escalates warnings to errors (the CI gate runs strict).
+Output is human-readable by default, ``--format json`` for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import ERROR, all_rules, run
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter for the repo's determinism, "
+            "durability, and chunk-exactness contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="escalate every finding to error severity (the CI gate)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--project-root",
+        metavar="DIR",
+        help=(
+            "repository root for the cross-file contract-coverage rule "
+            "(default: auto-detected as the ancestor holding src/repro and "
+            "tests)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids with their contracts and exit",
+    )
+    return parser
+
+
+def _split(values) -> "list | None":
+    if not values:
+        return None
+    return [part.strip() for value in values for part in value.split(",") if part.strip()]
+
+
+def _default_paths() -> list:
+    candidate = Path("src") / "repro"
+    return [str(candidate)] if candidate.is_dir() else ["."]
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:20s} [{rule.severity}] {rule.description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+    try:
+        findings = run(
+            paths,
+            strict=args.strict,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            project_root=args.project_root,
+        )
+    except ValueError as error:  # unknown rule ids from --select/--ignore
+        parser.error(str(error))
+
+    errors = sum(1 for finding in findings if finding.severity == ERROR)
+    warnings = len(findings) - errors
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in findings],
+            "errors": errors,
+            "warnings": warnings,
+            "strict": args.strict,
+        }
+        print(json.dumps(payload, indent=2, allow_nan=False))
+    else:
+        for finding in findings:
+            print(
+                f"{finding.location()}: {finding.rule} "
+                f"[{finding.severity}] {finding.message}"
+            )
+        if findings:
+            print(f"\n{len(findings)} finding(s): {errors} error(s), "
+                  f"{warnings} warning(s)")
+        else:
+            print("no findings")
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

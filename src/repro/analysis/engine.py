@@ -1,0 +1,360 @@
+"""Rule framework for the invariant linter.
+
+Everything here is stdlib-only by design: the linter runs in CI with **no
+third-party dependencies installed**, so neither this module nor any rule may
+import NumPy (or anything that transitively does).
+
+The moving parts:
+
+* :class:`Finding` — one diagnostic: rule id, ``file:line:col``, message,
+  severity.
+* :class:`Rule` / :class:`ProjectRule` — a per-file AST pass, or a
+  whole-repository consistency pass (the contract-coverage rule needs the
+  detector registry *and* the test suite at once).
+* :class:`FileContext` — parsed AST, raw source lines, import-alias table,
+  and the pragma map for one file.
+* pragmas — ``# lint: disable=<rule>[,<rule>...][ -- rationale]`` on the
+  finding's line suppresses it.  Rules with ``requires_rationale`` (broad
+  excepts) only honour pragmas that carry the ``-- rationale`` text, so a
+  suppression always records *why*.
+* :func:`lint_paths` — walk files, run rules, apply pragmas, return findings
+  sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "ProjectRule",
+    "ImportMap",
+    "Pragma",
+    "parse_pragmas",
+    "find_project_root",
+    "iter_python_files",
+    "lint_paths",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+?)(?:\s+--\s*(\S.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = ERROR
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# lint: disable=...`` comment."""
+
+    rules: frozenset
+    rationale: "str | None"
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules or "all" in self.rules
+
+
+def parse_pragmas(source: str) -> dict:
+    """``line -> Pragma`` for every disable pragma comment in ``source``.
+
+    Comments are found with :mod:`tokenize` (never by substring scanning), so
+    a pragma-looking string literal cannot suppress anything.  Tokenization
+    errors degrade to "no pragmas" — the file will separately fail to parse.
+    """
+    pragmas: dict = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            pragmas[token.start[0]] = Pragma(rules=rules, rationale=match.group(2))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return pragmas
+
+
+class ImportMap:
+    """Resolve dotted callee names through a module's import aliases.
+
+    ``import numpy as np`` makes ``np.random.default_rng`` resolve to
+    ``numpy.random.default_rng``; ``from time import time`` makes a bare
+    ``time(...)`` call resolve to ``time.time``.  Only names bound by imports
+    resolve — a local variable shadowing ``random`` resolves to nothing, so
+    the rules stay conservative.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """The fully-qualified dotted name of an expression, if import-bound."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, node: ast.Call) -> "str | None":
+        return self.resolve(node.func)
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule needs about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: Sequence[str]
+    pragmas: dict
+    imports: ImportMap
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    @classmethod
+    def load(cls, path: Path) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            pragmas=parse_pragmas(source),
+            imports=ImportMap(tree),
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Repository-level context for cross-file consistency rules."""
+
+    root: Path
+    files: Sequence[FileContext] = field(default_factory=list)
+
+    @property
+    def src_root(self) -> Path:
+        return self.root / "src"
+
+    @property
+    def tests_root(self) -> Path:
+        return self.root / "tests"
+
+
+class Rule:
+    """A per-file AST pass.  Subclasses set the class attributes and
+    implement :meth:`check_file`."""
+
+    id: str = ""
+    description: str = ""
+    severity: str = ERROR
+    #: When True, a disable pragma only suppresses this rule's findings if it
+    #: carries a ``-- rationale`` tail.
+    requires_rationale: bool = False
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-repository pass; runs once per lint invocation."""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files kept as-is), sorted, deduped."""
+    seen = set()
+    collected = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def find_project_root(paths: Sequence) -> "Path | None":
+    """The nearest ancestor holding both ``src/repro`` and ``tests``.
+
+    Project rules cross-reference the source tree against the test suite;
+    when the linted paths live outside such a checkout (fixture files in a
+    tmp dir), project rules simply do not run.
+    """
+    for raw in paths:
+        candidate = Path(raw).resolve()
+        for ancestor in [candidate, *candidate.parents]:
+            if (ancestor / "src" / "repro").is_dir() and (
+                ancestor / "tests"
+            ).is_dir():
+                return ancestor
+    return None
+
+
+def _suppressed(finding: Finding, rule: Rule, pragmas: dict) -> "bool | Finding":
+    """True if suppressed; a replacement Finding if the pragma is defective."""
+    pragma = pragmas.get(finding.line)
+    if pragma is None or not pragma.covers(rule.id):
+        return False
+    if rule.requires_rationale and not pragma.rationale:
+        return replace(
+            finding,
+            message=finding.message
+            + " (disable pragma present but missing ' -- <rationale>')",
+        )
+    return True
+
+
+def lint_paths(
+    paths: Sequence,
+    rules: Sequence[Rule],
+    *,
+    strict: bool = False,
+    project_root: "Path | str | None" = None,
+) -> list:
+    """Run ``rules`` over ``paths``; returns findings sorted by location.
+
+    ``strict`` escalates every finding to :data:`ERROR` severity.  Project
+    rules run once, against ``project_root`` (auto-detected from the linted
+    paths when not given).
+    """
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+
+    findings: list = []
+    contexts: list = []
+    pragmas_by_path: dict = {}
+    for path in iter_python_files(paths):
+        try:
+            ctx = FileContext.load(path)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=str(path),
+                    line=getattr(error, "lineno", None) or 1,
+                    col=(getattr(error, "offset", None) or 0) + 1,
+                    message=f"file does not parse: {error}",
+                    severity=ERROR,
+                )
+            )
+            continue
+        contexts.append(ctx)
+        pragmas_by_path[str(path)] = ctx.pragmas
+        for rule in file_rules:
+            for finding in rule.check_file(ctx):
+                verdict = _suppressed(finding, rule, ctx.pragmas)
+                if verdict is True:
+                    continue
+                findings.append(verdict if isinstance(verdict, Finding) else finding)
+
+    if project_rules:
+        root = (
+            Path(project_root) if project_root is not None
+            else find_project_root(list(paths))
+        )
+        if root is not None:
+            project = ProjectContext(root=root, files=contexts)
+            rules_by_id = {rule.id: rule for rule in project_rules}
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    pragmas = pragmas_by_path.get(finding.path, {})
+                    verdict = _suppressed(finding, rules_by_id[finding.rule], pragmas)
+                    if verdict is True:
+                        continue
+                    findings.append(
+                        verdict if isinstance(verdict, Finding) else finding
+                    )
+
+    if strict:
+        findings = [replace(finding, severity=ERROR) for finding in findings]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

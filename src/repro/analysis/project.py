@@ -1,0 +1,218 @@
+"""A purely syntactic model of the source tree for cross-file rules.
+
+The contract-coverage rule must answer questions like "does the class that
+``_make_rddm`` returns define (or inherit) ``step_batch``?" — *without
+importing the code*, because the linter runs in a dependency-free
+environment where ``import repro.detectors`` would fail on NumPy.  This
+module answers them from the ASTs alone:
+
+* :meth:`ProjectModel.module` — dotted module name -> parsed module
+  (packages resolve to their ``__init__.py``);
+* :meth:`ProjectModel.resolve_class` — follow ``from X import Y`` re-export
+  chains (``repro.detectors`` re-exports ``DDM`` from
+  ``repro.detectors.ddm``) to the defining :class:`ClassInfo`;
+* :meth:`ProjectModel.class_has_method` — walk the base-class chain, again
+  by name resolution, to decide whether a method is defined anywhere on the
+  MRO that lives inside the project.  Bases that resolve outside the project
+  (``abc.ABC``) are ignored.
+
+Resolution is conservative: anything dynamic (``globals()`` tricks,
+conditional imports) resolves to ``None``, and the calling rule reports that
+explicitly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ClassInfo", "ModuleInfo", "ProjectModel", "dict_entries", "string_names"]
+
+_MAX_RESOLVE_DEPTH = 16
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: where it lives, its bases, its own methods."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+
+    @property
+    def methods(self) -> set:
+        return {
+            item.name
+            for item in self.node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+
+class ModuleInfo:
+    """A parsed module plus its import-alias table and top-level bindings."""
+
+    def __init__(self, dotted: str, path: Path, tree: ast.Module) -> None:
+        self.dotted = dotted
+        self.path = path
+        self.tree = tree
+        self.classes: dict = {}
+        self.functions: dict = {}
+        self.imports: dict = {}  # bound name -> fully dotted origin
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = ClassInfo(node.name, self, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports: not used in this repo
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+
+class ProjectModel:
+    """Lazily-parsed modules under one source root (``.../src``)."""
+
+    def __init__(self, src_root: Path) -> None:
+        self._src_root = src_root
+        self._modules: dict = {}
+
+    def module(self, dotted: str) -> "ModuleInfo | None":
+        if dotted in self._modules:
+            return self._modules[dotted]
+        base = self._src_root / Path(*dotted.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.is_file():
+                try:
+                    tree = ast.parse(
+                        candidate.read_text(encoding="utf-8"),
+                        filename=str(candidate),
+                    )
+                except (SyntaxError, UnicodeDecodeError):
+                    break
+                info = ModuleInfo(dotted, candidate, tree)
+                self._modules[dotted] = info
+                return info
+        self._modules[dotted] = None
+        return None
+
+    # ------------------------------------------------------------ resolution
+    def resolve_class(
+        self, module: ModuleInfo, name: str, _depth: int = 0
+    ) -> "ClassInfo | None":
+        """The defining :class:`ClassInfo` for ``name`` as seen from ``module``."""
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        if name in module.classes:
+            return module.classes[name]
+        origin = module.imports.get(name)
+        if origin is None:
+            return None
+        return self._resolve_dotted_class(origin, _depth + 1)
+
+    def _resolve_dotted_class(self, dotted: str, depth: int) -> "ClassInfo | None":
+        parts = dotted.split(".")
+        # Longest module prefix wins: "repro.core.detector.RBMIM" splits into
+        # module "repro.core.detector" + attribute chain ["RBMIM"].
+        for split in range(len(parts) - 1, 0, -1):
+            module = self.module(".".join(parts[:split]))
+            if module is None:
+                continue
+            name = parts[split]
+            if split + 1 < len(parts):
+                return None  # nested attribute chains are not class names
+            return self.resolve_class(module, name, depth)
+        return None
+
+    def class_has_method(
+        self, cls: ClassInfo, method: str, _depth: int = 0
+    ) -> bool:
+        """Whether ``method`` is defined on ``cls`` or an in-project ancestor."""
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return False
+        if method in cls.methods:
+            return True
+        for base in cls.node.bases:
+            base_name = _terminal_name(base)
+            if base_name is None:
+                continue
+            parent = self.resolve_class(cls.module, base_name, _depth + 1)
+            if parent is not None and self.class_has_method(
+                parent, method, _depth + 1
+            ):
+                return True
+        return False
+
+    def returned_class(
+        self, module: ModuleInfo, function: ast.FunctionDef
+    ) -> "ClassInfo | None":
+        """The class instantiated by a factory's ``return SomeClass(...)``."""
+        for node in ast.walk(function):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                name = _terminal_name(node.value.func)
+                if name is not None:
+                    return self.resolve_class(module, name)
+        return None
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    """``DDM`` for ``DDM`` / ``detectors.DDM`` / ``a.b.DDM``; else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dict_entries(
+    tree: ast.AST, variable: str
+) -> Iterator[tuple]:
+    """``(key, lineno, value_node)`` for each string key of a dict literal
+    assigned (plain or annotated) to ``variable`` at module top level."""
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == variable):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key_node, value_node in zip(value.keys, value.values):
+            if isinstance(key_node, ast.Constant) and isinstance(
+                key_node.value, str
+            ):
+                yield key_node.value, key_node.lineno, value_node
+
+
+def string_names(tree: ast.AST) -> set:
+    """Every string literal in ``tree`` (coverage-by-explicit-listing check)."""
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def references_name(tree: ast.AST, name: str) -> bool:
+    """Whether ``tree`` loads ``name`` anywhere (coverage-by-registry check)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == name:
+            return True
+    return False

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from repro.core.hotpath import hot_path
 from repro.core.loss import ClassBalancedWeighter
 
 __all__ = ["RBMConfig", "SkewInsensitiveRBM"]
@@ -200,6 +201,7 @@ class SkewInsensitiveRBM:
         split = self._n_visible
         return _sigmoid(self._b + v @ self._Wvz[:split] + z @ self._Wvz[split:])
 
+    @hot_path
     def hidden_probabilities_packed(
         self, vz: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -221,6 +223,7 @@ class SkewInsensitiveRBM:
         split = self._n_visible
         return _softmax(self._bias_vz[split:] + h @ self._Wvz[split:].T)
 
+    @hot_path
     def reconstruct_packed(
         self, h: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -265,6 +268,7 @@ class SkewInsensitiveRBM:
         return encoded
 
     # ------------------------------------------------------------ training
+    @hot_path
     def partial_fit(
         self,
         X: np.ndarray,
@@ -313,7 +317,7 @@ class SkewInsensitiveRBM:
                 )
             if z0 is None:
                 z0 = self._one_hot(y)
-            vz0 = np.concatenate((X, z0), axis=1)
+            vz0 = np.concatenate((X, z0), axis=1)  # lint: disable=hot-path-alloc -- cold public-entry path; the fused detector path supplies vz0 pre-packed
         batch_size = vz0.shape[0]
         sample_weights = self._weighter.observe_weights(y)[:, None]
         h0_prob = h0 if h0 is not None else self.hidden_probabilities_packed(vz0)

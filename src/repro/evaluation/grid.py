@@ -27,15 +27,16 @@ reported on the :class:`GridResult`.
 
 from __future__ import annotations
 
-import json
 import time
 import traceback
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.jsonio import sanitize_nonfinite
+from repro.core.durability import atomic_write_text
+from repro.core.jsonio import dumps_strict, sanitize_nonfinite
 
 from repro.evaluation.prequential import PrequentialRunner, RunResult
 from repro.evaluation.results import ResultTable
@@ -122,9 +123,19 @@ class GridResult:
         """Flat JSON-friendly records, one per cell (for disk/DB sinks)."""
         return [cell_record(cell_result) for cell_result in self.cells]
 
-    def save_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_records(), handle, indent=2)
+    def save_json(self, path: "str | Path") -> None:
+        """Persist the records as **strict** JSON, atomically.
+
+        Serialised via :func:`repro.core.jsonio.dumps_strict` (non-finite
+        floats become ``null`` instead of bare ``NaN`` tokens) and written
+        with the stores' tmp-write → fsync → ``os.replace`` → dir-fsync
+        pattern, so a crash mid-save can never leave a torn file where a
+        previous result set used to be.
+        """
+        target = Path(path)
+        atomic_write_text(
+            target.parent, target, dumps_strict(self.to_records(), indent=2)
+        )
 
 
 def cell_record(cell_result: GridCellResult) -> dict:

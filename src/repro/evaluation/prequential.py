@@ -366,7 +366,7 @@ class PrequentialRunner:
         if detector is not None and n_rows > 1:
             try:
                 snapshot = copy.deepcopy(detector.__dict__)
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- deepcopy of arbitrary third-party detector state can raise anything; any failure safely routes to the exact scalar path
                 # Unsnapshottable detector state: fall back to the scalar
                 # per-instance recurrence for the rest of this chunk.
                 for i in range(n_rows):

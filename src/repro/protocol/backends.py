@@ -196,7 +196,7 @@ def _run_on_pool(
                         wall_time=float("nan"),
                         error=traceback.format_exc(),
                     )
-                except Exception:  # worker raised through the future
+                except Exception:  # lint: disable=broad-except -- any exception a worker raised is per-cell data, not fatal to the grid
                     cell_result = GridCellResult(
                         cell=tasks[index].cell,
                         result=None,
@@ -272,7 +272,7 @@ def _lost_worker_errors() -> tuple:
         from distributed import KilledWorker  # type: ignore
 
         errors.append(KilledWorker)
-    except Exception:
+    except ImportError:
         pass
     return tuple(errors)
 
@@ -360,7 +360,7 @@ class ClusterBackend:
             return False
         try:
             info = client.scheduler_info()  # type: ignore[attr-defined]
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- any client failure, whatever its type, means "not healthy"
             return False
         return bool(isinstance(info, dict) and info.get("workers"))
 
@@ -373,7 +373,7 @@ class ClusterBackend:
     def _close_client(client) -> None:
         try:
             client.close()
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- best-effort close of a possibly-dead client; nothing to do on failure
             pass
 
     # -------------------------------------------------------------- run
@@ -406,7 +406,7 @@ class ClusterBackend:
             return True
         try:
             return bool(done())
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- an unpollable future is treated as ready, degrading to a blocking gather
             return True
 
     def _run_on_cluster(self, client, tasks, max_workers, progress):
@@ -458,7 +458,7 @@ class ClusterBackend:
                         wall_time=float("nan"),
                         error=traceback.format_exc(),
                     )
-                except Exception:  # the cell itself raised on the worker
+                except Exception:  # lint: disable=broad-except -- whatever the cell raised on the worker is per-cell data, not fatal
                     cell_result = GridCellResult(
                         cell=tasks[index].cell,
                         result=None,

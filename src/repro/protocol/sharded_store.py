@@ -141,7 +141,8 @@ class ShardedResultsStore:
         # The per-line write stamp is what makes last-write-wins temporal
         # across segments (a resumed run's pid can sort before an old run's).
         stamped = [
-            (time.time_ns(), key, record) for key, record in entries
+            (time.time_ns(), key, record)  # lint: disable=determinism -- wall-clock write stamp for last-write-wins segment ordering, never part of seeded results
+            for key, record in entries
         ]
         lines = [
             dumps_strict({"k": key, "r": record, "t": stamp}, sort_keys=True)
@@ -165,7 +166,7 @@ class ShardedResultsStore:
             self._segments.mkdir(parents=True, exist_ok=True)
             _fsync_dir(self._root)
             name = (
-                f"{_SEGMENT_PREFIX}{time.time_ns():020d}-{os.getpid()}-"
+                f"{_SEGMENT_PREFIX}{time.time_ns():020d}-{os.getpid()}-"  # lint: disable=determinism -- wall-clock segment name orders crash leftovers; results content stays seeded
                 f"{uuid.uuid4().hex[:12]}{_SEGMENT_SUFFIX}"
             )
             self._segment_path = self._segments / name

@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.core.durability import atomic_write_text as _atomic_write_text
+from repro.core.durability import fsync_dir as _fsync_dir
 from repro.core.jsonio import dumps_strict
 
 __all__ = ["ResultsStore", "ResultsStoreProtocol"]
@@ -48,51 +49,10 @@ _SUFFIX = ".json"
 _TMP_PREFIX = ".tmp-"
 
 
-def _fsync_dir(directory: "str | os.PathLike[str]") -> None:
-    """fsync a directory so renames/creates/unlinks in it survive power loss.
-
-    POSIX-guarded: platforms that cannot open or fsync a directory (Windows,
-    some network filesystems) silently skip — the data files themselves are
-    still fsynced, so this only narrows the power-failure window, it never
-    breaks a write.
-    """
-    if not hasattr(os, "O_DIRECTORY"):
-        return
-    try:
-        fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def _atomic_write_text(directory: Path, path: Path, payload: str) -> None:
-    """tmp-write + fsync + rename + dir fsync; no stray tmp file on failure.
-
-    The directory fsync after :func:`os.replace` is what makes the *rename*
-    durable: without it a completed record can vanish on power failure even
-    though its bytes were fsynced.
-    """
-    descriptor, tmp_name = tempfile.mkstemp(
-        prefix=_TMP_PREFIX, suffix=_SUFFIX, dir=directory
-    )
-    try:
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    _fsync_dir(directory)
+# Hoisted to repro.core.durability so stdlib-only layers (e.g. the grid's
+# save_json) share the same tmp-write + fsync + replace + dir-fsync
+# discipline; re-exported under the historical private names because
+# ShardedResultsStore imports them from here.
 
 
 @runtime_checkable

@@ -1,0 +1,35 @@
+"""Helpers for the linter's own test suite.
+
+Deliberately *not* a ``conftest.py``: the repo's root ``tests/conftest.py``
+is imported by sibling suites as the top-level module ``conftest`` (e.g.
+``from conftest import feed_errors``), and a second file of that name here
+would shadow it in ``sys.modules``.  Test modules import this the same way
+pytest resolves those: the test file's own directory is on ``sys.path``.
+
+Every rule test follows the same shape: write a small fixture module into
+``tmp_path``, lint it with exactly one rule, and assert on ``(rule, line)``
+pairs — the same contract a CI reader has with a lint failure.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+
+
+def lint_file(tmp_path: Path, source: str, rules, name: str = "mod.py"):
+    """Lint ``source`` (dedented) as a file named ``name`` under tmp_path."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path], rules)
+
+
+def write_tree(root: Path, files: dict) -> None:
+    """Materialise ``{relative_path: content}`` under ``root``."""
+    for relative, content in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")

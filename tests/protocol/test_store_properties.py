@@ -163,16 +163,19 @@ def test_atomic_write_fsyncs_the_directory(tmp_path: Path, monkeypatch):
     record's rename survives power failure, not just its bytes."""
     import os
 
-    from repro.protocol import store as store_module
+    # The helpers live in repro.core.durability (the store re-exports them);
+    # atomic_write_text resolves fsync_dir through that module's globals, so
+    # that is where the spy must go.
+    from repro.core import durability
 
     synced_dirs = []
-    real_fsync_dir = store_module._fsync_dir
+    real_fsync_dir = durability.fsync_dir
 
     def spying(directory):
         synced_dirs.append(Path(directory))
         real_fsync_dir(directory)
 
-    monkeypatch.setattr(store_module, "_fsync_dir", spying)
+    monkeypatch.setattr(durability, "fsync_dir", spying)
     store = ResultsStore(tmp_path / "results")
     store.put("cell", {"v": 1})
     assert store.root in synced_dirs
