@@ -11,16 +11,19 @@ the three execution modes of :class:`PrequentialRunner`:
 * ``batch`` — chunk-granular test-then-train over the batch APIs, driving
   every detector's NumPy-native ``step_batch`` kernel.
 
-Four workload families are measured: the RBM-IM reference path of the
+Five workload families are measured: the RBM-IM reference path of the
 earlier baselines, the full *detector zoo* — every detector in the registry
 on the same stream/classifier, instance vs batch mode, with the aggregate
 speedup across the zoo as the headline number — raw generation
 throughput of a *schedule-composed scenario stream* (the
 :mod:`repro.streams.schedule` engine driving concept transitions, local
 drift, imbalance, label noise, and feature drift at once), batch fetch vs
-per-instance iteration — and the *fleet engine* (:mod:`repro.fleet`):
+per-instance iteration — the *fleet engine* (:mod:`repro.fleet`):
 detector-steps/sec of each native struct-of-arrays kernel driving 1k+
-concurrent independent streams, gated against an absolute floor.
+concurrent independent streams, gated against an absolute floor — and the
+*snapshot contract* overhead: a chunk-exact run writing a full
+``RunnerCheckpoint`` at every chunk vs without, plus snapshot()/restore()
+rates against the rollback deepcopy they replaced.
 
 Run as a pytest harness (``PYTHONPATH=src python -m pytest
 benchmarks/test_bench_throughput.py``) for a scaled-down regression check, as
@@ -37,10 +40,12 @@ cProfile and dumps the pstats breakdown (CI uploads it as an artifact).
 from __future__ import annotations
 
 import cProfile
+import copy
 import io
 import json
 import math
 import pstats
+import tempfile
 import time
 from pathlib import Path
 
@@ -80,6 +85,27 @@ SMOKE_MIN_EXACT_SPEEDUP = 3.0
 #: runners the batch path must stay at least 5x ahead — below that, the
 #: scenario engine's vectorized path has regressed.
 MIN_SCHEDULE_STREAM_SPEEDUP = 5.0
+
+#: Floor on what per-chunk crash-resume checkpointing may cost: a chunk-exact
+#: RBM-IM run writing a full :class:`RunnerCheckpoint` (stream + classifier +
+#: detector + metrics, strict JSON, atomic rename) at *every* 1024-instance
+#: chunk — far more often than the default cadence — must keep at least this
+#: fraction of the uncheckpointed run's throughput.  The recorded baseline
+#: keeps ~0.6x; below 0.3x the snapshot codec or the durability path has
+#: regressed into the hot loop.
+MIN_CHECKPOINT_RELATIVE_THROUGHPUT = 0.3
+
+#: Floor on the chunk-rollback capture path: ``detector.snapshot()`` on a
+#: trained RBM-IM must not fall behind the ``deepcopy(detector.__dict__)``
+#: it replaced inside ``_advance_exact_segment`` (recorded baseline ~1.5x —
+#: the snapshot skips the excluded CD-k scratch buffers that deepcopy
+#: faithfully clones; 0.9 allows for runner noise, not for a regression).
+MIN_RBMIM_SNAPSHOT_VS_DEEPCOPY = 0.9
+
+#: Absolute floor on full snapshot->restore cycles/sec of a trained RBM-IM
+#: (recorded baseline >= 1000/s; below 100/s checkpointing a protocol cell
+#: would dominate the cell itself).
+MIN_RBMIM_SNAPSHOT_CYCLES_PER_SEC = 100.0
 
 #: Hard floor on the fleet engine: the slowest native struct-of-arrays
 #: kernel must sustain at least this many detector-steps/sec while driving
@@ -282,6 +308,105 @@ def measure_schedule_stream(
     }
 
 
+def measure_snapshot_overhead(
+    n_instances: int,
+    repeats: int = 3,
+    chunk_size: int = 1_024,
+    capture_seconds: float = 0.5,
+) -> dict:
+    """Cost of the snapshot contract on the paths that pay for it.
+
+    Two workloads:
+
+    * **checkpointed run** — the chunk-exact RBM-IM reference run with a
+      full :class:`RunnerCheckpoint` written at every chunk boundary
+      (deliberately the most aggressive cadence) vs the same run without,
+      best-of-``repeats`` each, reported as relative throughput;
+    * **rollback capture** — ``snapshot()`` / full snapshot->restore cycles
+      per second on trained detectors, with the RBM-IM capture also compared
+      against the ``deepcopy(detector.__dict__)`` it replaced in the
+      chunk-exact rollback path.
+    """
+    runner = PrequentialRunner(_nb_factory, pretrain_size=200, snapshot_every=2_500)
+    best_time = {"plain": math.inf, "checkpointed": math.inf}
+    with tempfile.TemporaryDirectory() as scratch:
+        checkpoint = {
+            "plain": {},
+            "checkpointed": dict(
+                checkpoint_path=Path(scratch) / "checkpoint.json",
+                checkpoint_every=chunk_size,
+            ),
+        }
+        for _ in range(repeats):
+            for mode, kwargs in checkpoint.items():
+                # A stale matching checkpoint would turn later repeats into
+                # near-empty resumed runs; measure cold starts only.
+                Path(scratch, "checkpoint.json").unlink(missing_ok=True)
+                stream = SEAGenerator(n_classes=3, n_features=3, seed=1)
+                detector = RBMIM(3, 3, RBMIMConfig(batch_size=50, seed=11))
+                started = time.perf_counter()
+                runner.run(
+                    stream,
+                    detector,
+                    n_instances=n_instances,
+                    chunk_size=chunk_size,
+                    **kwargs,
+                )
+                best_time[mode] = min(
+                    best_time[mode], time.perf_counter() - started
+                )
+
+    def rate(action) -> float:
+        count = 0
+        started = time.perf_counter()
+        while time.perf_counter() - started < capture_seconds:
+            action()
+            count += 1
+        return count / (time.perf_counter() - started)
+
+    per_detector: dict[str, dict] = {}
+    rng = np.random.default_rng(7)
+    features = rng.random((4_000, 10))
+    labels = rng.integers(0, 5, 4_000)
+    predictions = rng.integers(0, 5, 4_000)
+    for name in ("DDM", "ADWIN", "RBM-IM"):
+        detector = build_detector(name, 10, 5)
+        detector.step_batch(features, labels, predictions)
+        entry = {
+            "snapshot_per_sec": round(rate(detector.snapshot), 1),
+            "snapshot_restore_cycles_per_sec": round(
+                rate(lambda: detector.restore(detector.snapshot())), 1
+            ),
+        }
+        if name == "RBM-IM":
+            deepcopy_rate = rate(lambda: copy.deepcopy(detector.__dict__))
+            entry["deepcopy_per_sec"] = round(deepcopy_rate, 1)
+            entry["snapshot_vs_deepcopy"] = round(
+                entry["snapshot_per_sec"] / deepcopy_rate, 2
+            )
+        per_detector[name] = entry
+
+    return {
+        "description": (
+            "Snapshot-contract overhead: chunk-exact RBM-IM run with a full "
+            "RunnerCheckpoint written at every chunk vs without (relative "
+            "throughput, best of N), plus snapshot()/restore() rates on "
+            "trained detectors and the RBM-IM capture vs the deepcopy it "
+            "replaced in the rollback path."
+        ),
+        "n_instances": n_instances,
+        "chunk_size": chunk_size,
+        "instances_per_sec": {
+            mode: round(n_instances / elapsed, 1)
+            for mode, elapsed in best_time.items()
+        },
+        "checkpointed_relative_throughput": round(
+            best_time["plain"] / best_time["checkpointed"], 2
+        ),
+        "per_detector": per_detector,
+    }
+
+
 def measure_fleet(
     n_streams: int = FLEET_N_STREAMS,
     n_ticks: int = 200,
@@ -422,6 +547,31 @@ class TestDetectorZoo:
         )
 
 
+class TestSnapshotOverhead:
+    def test_checkpointing_keeps_most_of_the_throughput(self):
+        n_instances = stream_length(8_000, 20_000)
+        results = measure_snapshot_overhead(n_instances=n_instances, repeats=2)
+        relative = results["checkpointed_relative_throughput"]
+        assert relative >= MIN_CHECKPOINT_RELATIVE_THROUGHPUT, (
+            f"per-chunk checkpointing keeps only {relative:.2f}x of the "
+            f"uncheckpointed throughput (floor "
+            f"{MIN_CHECKPOINT_RELATIVE_THROUGHPUT}x; recorded baseline in "
+            "BENCH_throughput.json keeps ~0.6x)"
+        )
+        rbmim = results["per_detector"]["RBM-IM"]
+        cycles = rbmim["snapshot_restore_cycles_per_sec"]
+        assert cycles >= MIN_RBMIM_SNAPSHOT_CYCLES_PER_SEC, (
+            f"trained RBM-IM manages only {cycles:,.0f} snapshot->restore "
+            f"cycles/sec (floor {MIN_RBMIM_SNAPSHOT_CYCLES_PER_SEC:,.0f})"
+        )
+        ratio = rbmim["snapshot_vs_deepcopy"]
+        assert ratio >= MIN_RBMIM_SNAPSHOT_VS_DEEPCOPY, (
+            f"RBM-IM snapshot() capture fell to {ratio:.2f}x of the deepcopy "
+            f"it replaced in the chunk-rollback path (floor "
+            f"{MIN_RBMIM_SNAPSHOT_VS_DEEPCOPY}x)"
+        )
+
+
 class TestFleet:
     def test_fleet_holds_steps_per_sec_floor(self):
         n_ticks = stream_length(100, 500)
@@ -493,6 +643,15 @@ def print_regression_diff(current: dict) -> None:
         "schedule_stream.speedup_batch_vs_instance",
         recorded.get("schedule_stream", {}).get("speedup_batch_vs_instance"),
         current.get("schedule_stream", {}).get("speedup_batch_vs_instance"),
+    )
+    row(
+        "snapshot_overhead.checkpointed_relative_throughput",
+        recorded.get("snapshot_overhead", {}).get(
+            "checkpointed_relative_throughput"
+        ),
+        current.get("snapshot_overhead", {}).get(
+            "checkpointed_relative_throughput"
+        ),
     )
     # Fleet throughput is absolute (steps/sec), not a ratio; compare the
     # slowest-kernel floor in millions of steps/sec.
@@ -586,6 +745,36 @@ def main(smoke: bool = False, profile: bool = False) -> None:
                 f"detector-steps/sec across {FLEET_N_STREAMS} streams "
                 f"(floor {MIN_FLEET_STEPS_PER_SEC:,.0f})"
             )
+        # Snapshot contract: per-chunk checkpointing must not eat the chunked
+        # runner's speedup, and the rollback capture must stay at least as
+        # cheap as the deepcopy it replaced.
+        snapshot_results = measure_snapshot_overhead(n_instances=10_000, repeats=2)
+        print(json.dumps(snapshot_results, indent=2))
+        relative = snapshot_results["checkpointed_relative_throughput"]
+        if relative < MIN_CHECKPOINT_RELATIVE_THROUGHPUT:
+            raise SystemExit(
+                f"per-chunk checkpointing keeps only {relative:.2f}x of the "
+                f"uncheckpointed throughput "
+                f"(floor {MIN_CHECKPOINT_RELATIVE_THROUGHPUT}x)"
+            )
+        snapshot_rbmim = snapshot_results["per_detector"]["RBM-IM"]
+        if (
+            snapshot_rbmim["snapshot_restore_cycles_per_sec"]
+            < MIN_RBMIM_SNAPSHOT_CYCLES_PER_SEC
+        ):
+            raise SystemExit(
+                f"trained RBM-IM manages only "
+                f"{snapshot_rbmim['snapshot_restore_cycles_per_sec']:,.0f} "
+                f"snapshot->restore cycles/sec "
+                f"(floor {MIN_RBMIM_SNAPSHOT_CYCLES_PER_SEC:,.0f})"
+            )
+        if snapshot_rbmim["snapshot_vs_deepcopy"] < MIN_RBMIM_SNAPSHOT_VS_DEEPCOPY:
+            raise SystemExit(
+                f"RBM-IM snapshot() capture fell to "
+                f"{snapshot_rbmim['snapshot_vs_deepcopy']:.2f}x of the "
+                f"deepcopy it replaced "
+                f"(floor {MIN_RBMIM_SNAPSHOT_VS_DEEPCOPY}x)"
+            )
         # RBM-IM reference workloads: hard floors on the batched CD-k path
         # and the dispatch-free chunk-exact runner.
         rbmim_results = run_benchmark(n_instances=15_000, repeats=3)
@@ -611,6 +800,7 @@ def main(smoke: bool = False, profile: bool = False) -> None:
                 "detector_zoo": results,
                 "schedule_stream": schedule_results,
                 "fleet": fleet_results,
+                "snapshot_overhead": snapshot_results,
             }
         )
         print(
@@ -618,6 +808,7 @@ def main(smoke: bool = False, profile: bool = False) -> None:
             f"schedule stream batch {speedup:.1f}x instance mode; "
             f"fleet floor {fleet_floor / 1e6:.1f}M steps/sec across "
             f"{FLEET_N_STREAMS} streams; "
+            f"per-chunk checkpointing keeps {relative:.2f}x throughput; "
             "RBM-IM workloads hold the batch/chunk-exact floors"
         )
         return
@@ -631,6 +822,9 @@ def main(smoke: bool = False, profile: bool = False) -> None:
     )
     results["fleet"] = measure_fleet(
         n_streams=FLEET_N_STREAMS, n_ticks=500, repeats=3
+    )
+    results["snapshot_overhead"] = measure_snapshot_overhead(
+        n_instances=20_000, repeats=3
     )
     print_regression_diff(results)
     _RECORDED_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")

@@ -12,6 +12,9 @@ statically, by cross-referencing the live registries against the test tree:
 * the reset-replay suite must cover it — either by deriving its parametrize
   list from ``DETECTOR_NAMES`` (the current idiom, which covers additions
   automatically) or by naming the detector explicitly;
+* the snapshot round-trip suite (PR 10) must cover it the same way — a
+  detector that cannot survive ``snapshot()`` → JSON → ``restore()``
+  bit-identically would silently break rollback and crash-resume;
 * the class its factory returns must define (or inherit, within the repo) a
   chunk-exact ``step_batch``;
 * every ``FLEET_NATIVE`` kernel must be exercised by the fleet property
@@ -56,6 +59,7 @@ class ContractCoverageRule(ProjectRule):
     fleet_variable = "FLEET_NATIVE"
     golden_dir = "tests/golden"
     reset_replay_test = "tests/detectors/test_reset_replay.py"
+    snapshot_test = "tests/detectors/test_snapshot_roundtrip.py"
     fleet_property_test = "tests/property/test_property_fleet.py"
     fleet_template_variable = "AGGRESSIVE_TEMPLATES"
     registry_list_name = "DETECTOR_NAMES"
@@ -92,6 +96,11 @@ class ContractCoverageRule(ProjectRule):
             reset_tree, self.registry_list_name
         )
         reset_named = string_names(reset_tree) if reset_tree is not None else set()
+        snap_tree = self._parse_test(project, self.snapshot_test)
+        snap_dynamic = snap_tree is not None and references_name(
+            snap_tree, self.registry_list_name
+        )
+        snap_named = string_names(snap_tree) if snap_tree is not None else set()
 
         for name, lineno, value in entries:
             golden = project.root / self.golden_dir / f"{name}.json"
@@ -116,6 +125,21 @@ class ContractCoverageRule(ProjectRule):
                     lineno,
                     f"registry detector {name!r} is not covered by "
                     f"{self.reset_replay_test} (the suite neither derives "
+                    f"from {self.registry_list_name} nor names it)",
+                )
+            if snap_tree is None:
+                yield self._at(
+                    registry.path,
+                    lineno,
+                    f"snapshot round-trip suite {self.snapshot_test} is "
+                    f"missing; {name!r} has no snapshot/restore coverage",
+                )
+            elif not snap_dynamic and name not in snap_named:
+                yield self._at(
+                    registry.path,
+                    lineno,
+                    f"registry detector {name!r} is not covered by "
+                    f"{self.snapshot_test} (the suite neither derives "
                     f"from {self.registry_list_name} nor names it)",
                 )
             yield from self._check_step_batch(model, registry, name, lineno, value)

@@ -18,10 +18,12 @@ import abc
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["StreamClassifier", "MajorityClassClassifier", "NoChangeClassifier"]
 
 
-class StreamClassifier(abc.ABC):
+class StreamClassifier(Snapshotable, abc.ABC):
     """Base class for incremental (streaming) classifiers."""
 
     def __init__(self, n_features: int, n_classes: int) -> None:

@@ -21,10 +21,12 @@ import numpy as np
 
 from repro.classifiers.base import StreamClassifier
 from repro.classifiers.perceptron import OnlinePerceptron
+from repro.core.snapshot import register_dataclass
 
 __all__ = ["CostSensitivePerceptronTree"]
 
 
+@register_dataclass
 @dataclass
 class _LeafStats:
     """Streaming per-class feature statistics used by the split criterion."""
@@ -51,6 +53,7 @@ class _LeafStats:
         return float(self.counts.sum())
 
 
+@register_dataclass
 @dataclass
 class _TreeNode:
     """A node of the perceptron tree: leaf (model) or internal (split)."""

@@ -30,12 +30,14 @@ from repro.core.granger import granger_causality, granger_causality_lag1_diff
 from repro.core.rbm import RBMConfig, SkewInsensitiveRBM
 from repro.core.reconstruction import reconstruction_errors_from_hidden
 from repro.core.scaling import OnlineMinMaxScaler
+from repro.core.snapshot import register_dataclass
 from repro.core.trend import TrendTracker
 from repro.detectors.base import InstanceDetector
 
 __all__ = ["RBMIMConfig", "RBMIM"]
 
 
+@register_dataclass
 @dataclass(frozen=True)
 class RBMIMConfig:
     """Hyper-parameters of the RBM-IM drift detector (Table II, last block).
@@ -141,6 +143,7 @@ class RBMIMConfig:
             raise ValueError("train_epochs must be >= 1")
 
 
+@register_dataclass
 @dataclass
 class _ClassMonitor:
     """Per-class bookkeeping: error history, trend tracker, pending alarms.
@@ -247,6 +250,38 @@ class RBMIM(InstanceDetector):
         self._warm_started = False
         self._batches_processed = 0
         self._last_per_class_errors = np.full(n_classes, np.nan)
+
+    # Scratch (shape-derived, fully overwritten each batch) is rebuilt on
+    # restore; the mini-batch accumulator is captured as its filled prefix so
+    # uninitialised tail bytes never leak into (or differ between) snapshots.
+    _SNAPSHOT_EXCLUDE = frozenset({
+        "_row_arange", "_vz0_buf", "_h_buf", "_recon_buf",
+        "_buffer_X", "_buffer_y",
+    })
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state["buffer_rows_X"] = self._buffer_X[: self._buffer_n].copy()
+        state["buffer_rows_y"] = self._buffer_y[: self._buffer_n].copy()
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        rows_X = state.pop("buffer_rows_X")
+        rows_y = state.pop("buffer_rows_y")
+        super()._restore_state(state)
+        batch_size = self._cfg.batch_size
+        self._buffer_X = np.empty((batch_size, self._n_features))
+        self._buffer_y = np.empty(batch_size, dtype=np.int64)
+        self._buffer_X[: rows_X.shape[0]] = rows_X
+        self._buffer_y[: rows_y.shape[0]] = rows_y
+
+    def _after_restore(self) -> None:
+        batch_size = self._cfg.batch_size
+        n_vz = self._n_features + self._n_classes
+        self._row_arange = np.arange(batch_size)
+        self._vz0_buf = np.zeros((batch_size, n_vz))
+        self._h_buf = np.empty((batch_size, self._rbm_config.n_hidden))
+        self._recon_buf = np.empty((batch_size, n_vz))
 
     # ---------------------------------------------------------------- state
     @property

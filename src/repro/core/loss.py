@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["effective_number", "class_balanced_weights", "ClassBalancedWeighter"]
 
 
@@ -60,7 +62,7 @@ def class_balanced_weights(
     return weights
 
 
-class ClassBalancedWeighter:
+class ClassBalancedWeighter(Snapshotable):
     """Running class-balanced instance weighting for streaming data.
 
     Parameters
@@ -93,6 +95,11 @@ class ClassBalancedWeighter:
         # so once every class has been seen the check short-circuits forever.
         self._all_seen = False
         self._weight_scratch = np.empty(n_classes)
+
+    _SNAPSHOT_EXCLUDE = frozenset({"_weight_scratch"})
+
+    def _after_restore(self) -> None:
+        self._weight_scratch = np.empty(self._n_classes)
 
     @property
     def counts(self) -> np.ndarray:

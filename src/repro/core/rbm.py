@@ -20,6 +20,7 @@ from scipy import special
 
 from repro.core.hotpath import hot_path
 from repro.core.loss import ClassBalancedWeighter
+from repro.core.snapshot import Snapshotable, register_dataclass
 
 __all__ = ["RBMConfig", "SkewInsensitiveRBM"]
 
@@ -37,6 +38,7 @@ def _softmax(x: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=1, keepdims=True)
 
 
+@register_dataclass
 @dataclass(frozen=True)
 class RBMConfig:
     """Hyper-parameters of the skew-insensitive RBM (Table II, last block).
@@ -90,8 +92,24 @@ class RBMConfig:
             raise ValueError("momentum must be in [0, 1)")
 
 
-class SkewInsensitiveRBM:
+class SkewInsensitiveRBM(Snapshotable):
     """Three-layer (visible / hidden / class) RBM trained with weighted CD-k."""
+
+    # Gradient and CD-k scratch is overwritten before every use; snapshots
+    # carry only the learned parameters, velocities, RNG, and weighter.
+    _SNAPSHOT_EXCLUDE = frozenset({
+        "_grad_Wvz", "_decay_Wvz", "_grad_bias_vz", "_grad_b", "_scratch_n",
+        "_vz2", "_h2", "_diff_vz", "_rand", "_less", "_h_sample", "_hk",
+        "_neg_w",
+    })
+
+    def _after_restore(self) -> None:
+        n_vz = self._config.n_visible + self._config.n_classes
+        self._grad_Wvz = np.empty_like(self._Wvz)
+        self._decay_Wvz = np.empty_like(self._Wvz)
+        self._grad_bias_vz = np.empty(n_vz)
+        self._grad_b = np.empty(self._config.n_hidden)
+        self._scratch_n = 0
 
     def __init__(self, config: RBMConfig) -> None:
         self._config = config

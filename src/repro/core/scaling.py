@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["OnlineMinMaxScaler"]
 
 
-class OnlineMinMaxScaler:
+class OnlineMinMaxScaler(Snapshotable):
     """Streaming min-max scaler to the unit interval.
 
     Parameters

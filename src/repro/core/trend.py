@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
 from repro.detectors.adwin import ADWIN
 
 __all__ = ["TrendTracker"]
 
 
-class TrendTracker:
+class TrendTracker(Snapshotable):
     """Incremental sliding-window linear-regression slope with adaptive width.
 
     Parameters

@@ -35,6 +35,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = [
     "hoeffding_bound",
     "mcdiarmid_bound",
@@ -182,7 +184,7 @@ def gather_tracked(
 
 
 # ------------------------------------------------------------------ RingWindow
-class RingWindow:
+class RingWindow(Snapshotable):
     """Fixed-capacity sliding window with an O(1) maintained sum.
 
     Backs the windowed detectors (FHDDM's correctness window, WSTD's
@@ -259,7 +261,7 @@ class RingWindow:
 
 
 # ------------------------------------------------------------ StackedRingWindow
-class StackedRingWindow:
+class StackedRingWindow(Snapshotable):
     """N independent :class:`RingWindow`\\ s in struct-of-arrays form.
 
     One ``(n_lanes, capacity)`` buffer plus per-lane start/size/sum arrays
@@ -351,7 +353,7 @@ class StackedRingWindow:
 _MAX_BUCKETS_PER_ROW = 5
 
 
-class ExponentialBuckets:
+class ExponentialBuckets(Snapshotable):
     """ADWIN's exponential histogram: rows of buckets of ``2**level`` elements.
 
     Compression keeps at most ``max_per_row`` buckets per row; overflowing

@@ -37,6 +37,8 @@ import abc
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = [
     "DriftDetector",
     "ErrorRateDetector",
@@ -45,12 +47,18 @@ __all__ = [
 ]
 
 
-class DriftDetector(abc.ABC):
+class DriftDetector(Snapshotable, abc.ABC):
     """Base class for concept drift detectors.
 
     Subclasses set ``self._in_drift`` / ``self._in_warning`` during
     :meth:`step`; the base class maintains detection bookkeeping (positions of
     signalled drifts, total number of observations).
+
+    Every detector is :class:`~repro.core.snapshot.Snapshotable`: the generic
+    full-state walk captures the drift/warning flags, the detection
+    bookkeeping, and all subclass statistics (windows, running sums,
+    minima), so ``snapshot()``/``restore()`` round-trips are bit-identical
+    under the same chunk-exactness contract as :meth:`step_batch`.
     """
 
     def __init__(self) -> None:

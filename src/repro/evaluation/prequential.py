@@ -34,6 +34,12 @@ Three execution modes are provided:
   the standard interleaved-chunks trade-off.  This is the fast path used by
   the throughput benchmarks; detectors that ignore the prediction stream
   (e.g. RBM-IM) produce identical detections in every mode.
+
+Every mode is **checkpointable**: passing ``checkpoint_path`` to :meth:`run`
+persists a :class:`~repro.evaluation.checkpoint.RunnerCheckpoint` (stream +
+classifier + detector + metrics + loop bookkeeping) atomically at instance
+boundaries, and a later invocation with the same configuration resumes from
+it with results bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -42,12 +48,15 @@ import copy
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Deque
 
 import numpy as np
 
 from repro.classifiers.base import StreamClassifier
+from repro.core.snapshot import Snapshotable
 from repro.detectors.base import DriftDetector
+from repro.evaluation.checkpoint import RunnerCheckpoint
 from repro.metrics.drift_eval import DriftDetectionReport, evaluate_detections
 from repro.metrics.prequential import MetricSnapshot, PrequentialEvaluator
 from repro.streams.base import DataStream
@@ -175,6 +184,8 @@ class PrequentialRunner:
         drift_tolerance: int = 2_000,
         chunk_size: int | None = None,
         batch_mode: bool | None = None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_every: int | None = None,
     ) -> RunResult:
         """Evaluate one detector on one stream.
 
@@ -191,6 +202,17 @@ class PrequentialRunner:
             recommended length or 10 000.
         chunk_size, batch_mode:
             Per-run overrides of the constructor's execution mode.
+        checkpoint_path:
+            When set, a :class:`~repro.evaluation.checkpoint.RunnerCheckpoint`
+            is written atomically to this path at instance boundaries (chunk
+            boundaries in the chunked modes) and — if the file already holds a
+            checkpoint matching this exact run configuration — the run
+            *resumes* from it, producing results bit-identical to an
+            uninterrupted run.  A missing, torn, or mismatched checkpoint is
+            ignored and the run starts from the beginning.
+        checkpoint_every:
+            Minimum number of instances between checkpoint writes; defaults
+            to the chunk size (or 1000 in instance mode).
         """
         scenario: ScenarioStream | None = None
         if isinstance(stream, ScenarioStream):
@@ -219,12 +241,57 @@ class PrequentialRunner:
             replay=deque(maxlen=max(self._rebuild_buffer, 1)),
         )
 
+        checkpointer: "_Checkpointer | None" = None
+        start_at = 0
+        if checkpoint_path is not None:
+            meta = {
+                "stream": stream_name,
+                "detector": self._describe(detector),
+                "n_instances": int(n_instances),
+                "chunk_size": chunk,
+                "batch_mode": bool(batched),
+                "window_size": self._window_size,
+                "pretrain_size": self._pretrain_size,
+                "rebuild_buffer": self._rebuild_buffer,
+                "snapshot_every": self._snapshot_every,
+            }
+            every = (
+                int(checkpoint_every)
+                if checkpoint_every is not None
+                else (chunk or 1_000)
+            )
+            # Fail up front with a clear message, not mid-run inside a save:
+            # checkpointing needs every bundled component to be snapshotable.
+            for role, part in (
+                ("stream", data_stream),
+                ("detector", detector),
+                ("classifier", state.classifier),
+            ):
+                if part is not None and not isinstance(part, Snapshotable):
+                    raise TypeError(
+                        f"checkpoint_path requires a Snapshotable {role}; "
+                        f"{type(part).__name__} does not implement the "
+                        "snapshot contract (repro.core.snapshot)"
+                    )
+            checkpointer = _Checkpointer(
+                Path(checkpoint_path), every, meta, data_stream, detector
+            )
+            start_at = checkpointer.resume(state)
+
         if chunk is None:
-            self._run_instance_mode(data_stream, detector, n_instances, state)
+            self._run_instance_mode(
+                data_stream, detector, n_instances, state, start_at, checkpointer
+            )
         elif batched:
-            self._run_batch_mode(data_stream, detector, n_instances, chunk, state)
+            self._run_batch_mode(
+                data_stream, detector, n_instances, chunk, state, start_at,
+                checkpointer,
+            )
         else:
-            self._run_chunked_exact(data_stream, detector, n_instances, chunk, state)
+            self._run_chunked_exact(
+                data_stream, detector, n_instances, chunk, state, start_at,
+                checkpointer,
+            )
 
         drift_report = None
         if scenario is not None:
@@ -255,9 +322,11 @@ class PrequentialRunner:
         detector: DriftDetector | None,
         n_instances: int,
         state: "_RunState",
+        start_at: int = 0,
+        checkpointer: "_Checkpointer | None" = None,
     ) -> None:
         """Classic loop: one Instance object at a time (baseline path)."""
-        produced = 0
+        produced = start_at
         while produced < n_instances:
             try:
                 instance = data_stream.next_instance()
@@ -267,6 +336,8 @@ class PrequentialRunner:
                 instance.x, int(instance.y), produced, detector, state
             )
             produced += 1
+            if checkpointer is not None:
+                checkpointer.maybe_save(produced, state)
 
     def _run_chunked_exact(
         self,
@@ -275,6 +346,8 @@ class PrequentialRunner:
         n_instances: int,
         chunk: int,
         state: "_RunState",
+        start_at: int = 0,
+        checkpointer: "_Checkpointer | None" = None,
     ) -> None:
         """Vectorized chunk-exact mode: bit-identical to instance mode.
 
@@ -297,7 +370,7 @@ class PrequentialRunner:
         execution resumes behind the rebuilt classifier.  Detections, blamed
         classes, metrics, and snapshots are all identical to instance mode.
         """
-        produced = 0
+        produced = start_at
         pretrain = self._pretrain_size
         while produced < n_instances:
             features, labels = data_stream.generate_batch(
@@ -345,6 +418,8 @@ class PrequentialRunner:
                     break
                 seg += drift_row + 1
             produced += n_rows
+            if checkpointer is not None:
+                checkpointer.maybe_save(produced, state)
 
     def _advance_exact_segment(
         self,
@@ -363,17 +438,25 @@ class PrequentialRunner:
         """
         n_rows = seg_y.shape[0]
         snapshot = None
+        native = isinstance(detector, Snapshotable)
         if detector is not None and n_rows > 1:
-            try:
-                snapshot = copy.deepcopy(detector.__dict__)
-            except Exception:  # lint: disable=broad-except -- deepcopy of arbitrary third-party detector state can raise anything; any failure safely routes to the exact scalar path
-                # Unsnapshottable detector state: fall back to the scalar
-                # per-instance recurrence for the rest of this chunk.
-                for i in range(n_rows):
-                    self._step_one(
-                        seg_x[i], int(seg_y[i]), seg_start + i, detector, state
-                    )
-                return -1
+            if native:
+                # The versioned snapshot contract skips the detector's scratch
+                # buffers (rebuilt on restore), so the rollback checkpoint is
+                # cheaper than the ``deepcopy(detector.__dict__)`` it replaced
+                # — and it is the same state model crash-resume uses.
+                snapshot = detector.snapshot()
+            else:
+                try:
+                    snapshot = copy.deepcopy(detector.__dict__)
+                except Exception:  # lint: disable=broad-except -- deepcopy of arbitrary third-party detector state can raise anything; any failure safely routes to the exact scalar path
+                    # Unsnapshottable detector state: fall back to the scalar
+                    # per-instance recurrence for the rest of this chunk.
+                    for i in range(n_rows):
+                        self._step_one(
+                            seg_x[i], int(seg_y[i]), seg_start + i, detector, state
+                        )
+                    return -1
 
         start = time.perf_counter()
         scores = state.classifier.predict_fit_interleaved(seg_x, seg_y)
@@ -398,8 +481,11 @@ class PrequentialRunner:
         # the (about to be discarded) pre-drift classifier.
         row = int(drift_rows[0])
         if row != n_rows - 1:
-            detector.__dict__.clear()
-            detector.__dict__.update(snapshot)
+            if native:
+                detector.restore(snapshot)
+            else:
+                detector.__dict__.clear()
+                detector.__dict__.update(snapshot)
             start = time.perf_counter()
             detector.step_batch(
                 seg_x[: row + 1], seg_y[: row + 1], predictions[: row + 1]
@@ -426,9 +512,11 @@ class PrequentialRunner:
         n_instances: int,
         chunk: int,
         state: "_RunState",
+        start_at: int = 0,
+        checkpointer: "_Checkpointer | None" = None,
     ) -> None:
         """Chunk-granular test-then-train over the batch APIs."""
-        produced = 0
+        produced = start_at
         while produced < n_instances:
             features, labels = data_stream.generate_batch(
                 min(chunk, n_instances - produced)
@@ -461,6 +549,8 @@ class PrequentialRunner:
                 state.warm_started = True
             if offset >= n_rows:
                 produced += n_rows
+                if checkpointer is not None:
+                    checkpointer.maybe_save(produced, state)
                 continue
 
             chunk_x = features[offset:]
@@ -504,6 +594,8 @@ class PrequentialRunner:
                 state.classifier_time += time.perf_counter() - start
                 _extend_replay(state.replay, train_x, train_y)
             produced += n_rows
+            if checkpointer is not None:
+                checkpointer.maybe_save(produced, state)
 
     # ------------------------------------------------------------ internals
     def _step_one(
@@ -589,3 +681,51 @@ class _RunState:
     warm_x: list[np.ndarray] = field(default_factory=list)
     warm_y: list = field(default_factory=list)
     warm_started: bool = False
+
+
+class _Checkpointer:
+    """Owns one checkpoint file for one run: resume on entry, periodic saves.
+
+    Saves happen only at the instance boundaries the execution modes already
+    stop at (chunk boundaries in the chunked modes), so a resumed run
+    re-enters its loop exactly where the uninterrupted run would have been —
+    which, together with chunk-exact kernels and lossless component
+    snapshots, is what makes resume bit-identical.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        every: int,
+        meta: dict,
+        data_stream: DataStream,
+        detector: DriftDetector | None,
+    ) -> None:
+        if every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self._path = path
+        self._every = every
+        self._meta = meta
+        self._stream = data_stream
+        self._detector = detector
+        self._saved_at = 0
+
+    def resume(self, state: _RunState) -> int:
+        """Apply a matching persisted checkpoint; returns the start position."""
+        checkpoint = RunnerCheckpoint.load(self._path)
+        if checkpoint is None or not checkpoint.matches(
+            self._meta, self._stream, self._detector, state
+        ):
+            return 0
+        produced = checkpoint.apply(self._stream, self._detector, state)
+        self._saved_at = produced
+        return produced
+
+    def maybe_save(self, produced: int, state: _RunState) -> None:
+        """Persist a cut if at least ``every`` instances passed since the last."""
+        if produced - self._saved_at < self._every:
+            return
+        RunnerCheckpoint.capture(
+            self._meta, produced, self._stream, self._detector, state
+        ).save(self._path)
+        self._saved_at = produced

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
 from repro.detectors.base import (
     ClassConditionalDetector,
     DriftDetector,
@@ -30,7 +31,7 @@ from repro.detectors.base import (
 __all__ = ["ScalarDetectorFleet"]
 
 
-class ScalarDetectorFleet:
+class ScalarDetectorFleet(Snapshotable):
     """N scalar detectors behind the fleet's ragged-batch interface.
 
     ``values`` layout per detector family (k = elements in the tick):

@@ -39,6 +39,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["DetectorStateArray", "iter_rounds"]
 
 
@@ -73,7 +75,7 @@ def iter_rounds(stream_ids: np.ndarray) -> Iterator[np.ndarray]:
         yield np.flatnonzero(occurrence == round_index)
 
 
-class DetectorStateArray(abc.ABC):
+class DetectorStateArray(Snapshotable, abc.ABC):
     """N independent detector instances stored as arrays, stepped together.
 
     Subclasses hold one array per scalar state attribute (leading axis =

@@ -11,10 +11,12 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["StreamingConfusionMatrix"]
 
 
-class StreamingConfusionMatrix:
+class StreamingConfusionMatrix(Snapshotable):
     """Confusion matrix over the full stream or a sliding window.
 
     Parameters

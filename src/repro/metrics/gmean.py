@@ -8,12 +8,13 @@ paper's evaluation.  A thin wrapper over
 
 from __future__ import annotations
 
+from repro.core.snapshot import Snapshotable
 from repro.metrics.confusion import StreamingConfusionMatrix
 
 __all__ = ["PrequentialGMean"]
 
 
-class PrequentialGMean:
+class PrequentialGMean(Snapshotable):
     """Sliding-window multi-class geometric mean of recalls."""
 
     def __init__(self, n_classes: int, window_size: int = 1000) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = ["auc_from_scores", "PrequentialMultiClassAUC"]
 
 
@@ -43,7 +45,7 @@ def auc_from_scores(scores: np.ndarray, is_positive: np.ndarray) -> float:
     return float(u_statistic / (n_positive * n_negative))
 
 
-class PrequentialMultiClassAUC:
+class PrequentialMultiClassAUC(Snapshotable):
     """Sliding-window multi-class (one-vs-rest averaged) AUC.
 
     Parameters

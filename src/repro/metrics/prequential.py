@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable, register_dataclass
 from repro.metrics.confusion import StreamingConfusionMatrix
 from repro.metrics.gmean import PrequentialGMean
 from repro.metrics.pmauc import PrequentialMultiClassAUC
@@ -19,6 +20,7 @@ from repro.metrics.pmauc import PrequentialMultiClassAUC
 __all__ = ["MetricSnapshot", "PrequentialEvaluator"]
 
 
+@register_dataclass
 @dataclass(frozen=True)
 class MetricSnapshot:
     """Windowed metric values at a given stream position."""
@@ -31,7 +33,7 @@ class MetricSnapshot:
 
 
 @dataclass
-class PrequentialEvaluator:
+class PrequentialEvaluator(Snapshotable):
     """Test-then-train metric tracker with periodic snapshots.
 
     Parameters
@@ -84,7 +86,7 @@ class PrequentialEvaluator:
         self._confusion.update(y_true, y_pred)
         self._n_seen += 1
         if self._n_seen % self.snapshot_every == 0:
-            self._snapshots.append(self.snapshot())
+            self._snapshots.append(self.metric_snapshot())
 
     def update_batch(
         self, scores: np.ndarray, y_true: np.ndarray, y_pred: np.ndarray
@@ -104,7 +106,7 @@ class PrequentialEvaluator:
             self._confusion.update_batch(y_true[start:end], y_pred[start:end])
             self._n_seen += end - start
             if self._n_seen % self.snapshot_every == 0:
-                self._snapshots.append(self.snapshot())
+                self._snapshots.append(self.metric_snapshot())
             start = end
 
     # ------------------------------------------------------------- readouts
@@ -120,7 +122,8 @@ class PrequentialEvaluator:
     def kappa(self) -> float:
         return self._confusion.kappa()
 
-    def snapshot(self) -> MetricSnapshot:
+    def metric_snapshot(self) -> MetricSnapshot:
+        """Windowed metric readouts at the current position."""
         return MetricSnapshot(
             position=self._n_seen,
             pmauc=self.pmauc(),

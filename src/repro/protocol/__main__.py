@@ -209,6 +209,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not re-run cells whose stored record is a failure",
     )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persist a mid-cell runner checkpoint into the store at least "
+        "every N instances; a killed run then resumes its in-flight cells "
+        "from the checkpoints, bit-identical to an uninterrupted run "
+        "(default: off, resume stays cell-granular)",
+    )
     run.add_argument("--quiet", action="store_true", help="suppress per-cell lines")
 
     status = sub.add_parser("status", help="summarise store coverage of the spec")
@@ -266,6 +276,7 @@ def _command_run(args: argparse.Namespace) -> int:
         progress=None if args.quiet else progress,
         retry_failed=not args.no_retry_failed,
         max_cells=args.max_cells,
+        checkpoint_every=args.checkpoint_every,
     )
     print(summary.describe())
     status = pipeline.status()

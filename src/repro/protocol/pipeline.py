@@ -149,8 +149,18 @@ class ProtocolPipeline:
                 remaining.append((cell, key))
         return remaining
 
-    def task_for(self, cell: ProtocolCell) -> CellTask:
-        """The fully-specified, picklable unit of work for one cell."""
+    def task_for(
+        self, cell: ProtocolCell, checkpoint_every: int | None = None
+    ) -> CellTask:
+        """The fully-specified, picklable unit of work for one cell.
+
+        With ``checkpoint_every`` set (and a store exposing the checkpoint
+        side area), the runner periodically persists a mid-cell
+        :class:`~repro.evaluation.checkpoint.RunnerCheckpoint` under the
+        cell's key and resumes from it on re-execution — the checkpoint path
+        crosses the process boundary as a plain string, so every backend
+        stays picklable.
+        """
         runner_kwargs = {
             "window_size": self._spec.window_size,
             "pretrain_size": self._spec.pretrain_size,
@@ -161,6 +171,12 @@ class ProtocolPipeline:
             "n_instances": self._spec.n_instances,
             "drift_tolerance": self._spec.drift_tolerance,
         }
+        if checkpoint_every is not None:
+            path_for = getattr(self._store, "checkpoint_path_for", None)
+            if path_for is not None:
+                key = self._spec.cell_key(cell, self._classifier_label)
+                run_kwargs["checkpoint_path"] = str(path_for(key))
+                run_kwargs["checkpoint_every"] = int(checkpoint_every)
         return CellTask(
             cell=GridCell(
                 stream=cell.benchmark, detector=cell.detector, seed=cell.seed
@@ -180,6 +196,7 @@ class ProtocolPipeline:
         progress: Callable[[GridCellResult], None] | None = None,
         retry_failed: bool = True,
         max_cells: int | None = None,
+        checkpoint_every: int | None = None,
     ) -> ProtocolRunSummary:
         """Execute every pending cell, persisting each the moment it finishes.
 
@@ -189,7 +206,12 @@ class ProtocolPipeline:
         / ``thread`` / ``process`` / ``cluster``) or an
         :class:`~repro.protocol.backends.ExecutionBackend` instance;
         ``max_cells`` caps how many pending cells this invocation takes on
-        (useful for incremental/smoke runs).
+        (useful for incremental/smoke runs).  ``checkpoint_every`` makes
+        resume *mid-cell*: each runner persists a checkpoint into the store's
+        side area at least every that many instances, a killed run re-enters
+        its in-flight cells from those checkpoints (bit-identical to an
+        uninterrupted run), and each cell's checkpoint is discarded the
+        moment its record lands.
         """
         started = time.perf_counter()
         self._store.save_spec(self._spec.to_json())
@@ -215,16 +237,26 @@ class ProtocolPipeline:
         }
         executed_keys: list[str] = []
 
+        discard_checkpoint = (
+            getattr(self._store, "discard_checkpoint", None)
+            if checkpoint_every is not None
+            else None
+        )
+
         def persist(cell_result: GridCellResult) -> None:
             grid_cell = cell_result.cell
             coords = (grid_cell.stream, grid_cell.detector, grid_cell.seed)
             key = key_of[coords]
             self._store.put(key, self._record(cell_of[coords], key, cell_result))
+            if discard_checkpoint is not None:
+                # The cell's record is durable; its mid-cell checkpoint is
+                # now stale and must not resurrect on a later retry.
+                discard_checkpoint(key)
             executed_keys.append(key)
             if progress is not None:
                 progress(cell_result)
 
-        tasks = [self.task_for(cell) for cell, _ in todo]
+        tasks = [self.task_for(cell, checkpoint_every) for cell, _ in todo]
         results = run_cell_tasks(
             tasks, backend=backend, max_workers=max_workers, progress=persist
         )

@@ -64,7 +64,13 @@ from pathlib import Path
 from typing import IO, Iterable, Iterator
 
 from repro.core.jsonio import dumps_strict
-from repro.protocol.store import _atomic_write_text, _fsync_dir
+from repro.protocol.store import (
+    _atomic_write_text,
+    _checkpoint_path,
+    _discard_checkpoint,
+    _fsync_dir,
+    _read_json_dict,
+)
 
 __all__ = ["ShardedResultsStore"]
 
@@ -134,6 +140,26 @@ class ShardedResultsStore:
         path = self._root / "spec.json"
         _atomic_write_text(self._root, path, spec_json)
         return path
+
+    # --------------------------------------------------- mid-cell checkpoints
+    def checkpoint_path_for(self, key: str) -> Path:
+        """Side-area path for the mid-cell runner checkpoint of ``key``.
+
+        Checkpoints are atomic whole files (they are rewritten every few
+        chunks, which would bloat an append-only segment), living under
+        ``checkpoints/`` where neither the segment scan nor the index ever
+        looks.  The directory is created by the checkpoint writer, not here:
+        read-only opens must leave no trace.
+        """
+        return _checkpoint_path(self._root, key)
+
+    def get_checkpoint(self, key: str) -> "dict | None":
+        """The stored checkpoint payload for ``key``, or ``None``."""
+        return _read_json_dict(self.checkpoint_path_for(key))
+
+    def discard_checkpoint(self, key: str) -> bool:
+        """Delete the checkpoint for ``key``; returns whether one existed."""
+        return _discard_checkpoint(self._root, key)
 
     def _append_entries(
         self, entries: "list[tuple[str, dict | None]]"

@@ -47,6 +47,46 @@ __all__ = ["ResultsStore", "ResultsStoreProtocol"]
 
 _SUFFIX = ".json"
 _TMP_PREFIX = ".tmp-"
+_CHECKPOINT_DIR = "checkpoints"
+
+
+def _safe_key(key: str) -> str:
+    safe = key.replace(os.sep, "_")
+    if os.altsep:
+        safe = safe.replace(os.altsep, "_")
+    return safe
+
+
+def _checkpoint_path(root: Path, key: str) -> Path:
+    """Where a mid-cell runner checkpoint for ``key`` lives under ``root``.
+
+    Checkpoints are a *side area* (``root/checkpoints/``), deliberately
+    outside the record namespace: an in-flight checkpoint must never show up
+    in ``records()``/``statuses()`` as if the cell were done.  Shared by both
+    store backends.
+    """
+    return root / _CHECKPOINT_DIR / f"{_safe_key(key)}{_SUFFIX}"
+
+
+def _read_json_dict(path: Path) -> "dict | None":
+    """Parse a JSON object from ``path``; missing or corrupt means ``None``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _discard_checkpoint(root: Path, key: str) -> bool:
+    """Delete the checkpoint for ``key``; returns whether one existed."""
+    path = _checkpoint_path(root, key)
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        return False
+    _fsync_dir(path.parent)
+    return True
 
 
 # Hoisted to repro.core.durability so stdlib-only layers (e.g. the grid's
@@ -64,6 +104,13 @@ class ResultsStoreProtocol(Protocol):
     JSON dictionaries.  ``statuses`` exists so ``pending()``/``status()``
     over large specs are a single bulk scan instead of a per-key ``get``
     loop — implementations back it with whatever index they have.
+
+    Both built-in stores additionally expose an *optional* mid-cell
+    checkpoint side area (``checkpoint_path_for`` / ``get_checkpoint`` /
+    ``discard_checkpoint``) used by the pipeline's ``checkpoint_every``
+    resume; the pipeline duck-types these, so third-party stores without
+    them still satisfy this protocol and simply run without mid-cell
+    checkpoints.
     """
 
     def put(self, key: str, record: dict): ...
@@ -101,10 +148,7 @@ class ResultsStore:
     # ------------------------------------------------------------- pathing
     def path_for(self, key: str) -> Path:
         """Where the record for ``key`` lives (whether or not it exists)."""
-        safe = key.replace(os.sep, "_")
-        if os.altsep:
-            safe = safe.replace(os.altsep, "_")
-        return self._root / f"{safe}{_SUFFIX}"
+        return self._root / f"{_safe_key(key)}{_SUFFIX}"
 
     # ------------------------------------------------------------ write API
     def put(self, key: str, record: dict) -> Path:
@@ -133,6 +177,24 @@ class ResultsStore:
         path = self._root / "spec.json"
         self._atomic_write(path, spec_json)
         return path
+
+    # --------------------------------------------------- mid-cell checkpoints
+    def checkpoint_path_for(self, key: str) -> Path:
+        """Side-area path for the mid-cell runner checkpoint of ``key``.
+
+        The runner writes here atomically during a cell; the pipeline
+        discards it the moment the cell's record is persisted.  Living in
+        ``checkpoints/``, it is invisible to ``records()``/``statuses()``.
+        """
+        return _checkpoint_path(self._root, key)
+
+    def get_checkpoint(self, key: str) -> "dict | None":
+        """The stored checkpoint payload for ``key``, or ``None``."""
+        return _read_json_dict(self.checkpoint_path_for(key))
+
+    def discard_checkpoint(self, key: str) -> bool:
+        """Delete the checkpoint for ``key``; returns whether one existed."""
+        return _discard_checkpoint(self._root, key)
 
     def _atomic_write(self, path: Path, payload: str) -> None:
         _atomic_write_text(self._root, path, payload)
@@ -183,9 +245,4 @@ class ResultsStore:
     # ------------------------------------------------------------ internals
     @staticmethod
     def _load(path: Path) -> "dict | None":
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        return record if isinstance(record, dict) else None
+        return _read_json_dict(path)

@@ -32,6 +32,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
+
 __all__ = [
     "Instance",
     "StreamSchema",
@@ -103,7 +105,7 @@ class StreamSchema:
             raise ValueError("class_names length does not match n_classes")
 
 
-class DataStream(abc.ABC):
+class DataStream(Snapshotable, abc.ABC):
     """Base class for all data streams.
 
     A stream exposes its :class:`StreamSchema` and emits instances either in
@@ -112,7 +114,18 @@ class DataStream(abc.ABC):
     deterministic for a given ``seed`` so that every experiment in the
     benchmark harness is reproducible, and the two paths must agree: a batch
     of ``n`` is bit-identical to ``n`` single draws from the same state.
+
+    Streams are **restore-in-place** snapshotables: constructor inputs
+    (schemas, concept factories, schedules) are not serialised, so a
+    snapshot must be loaded with :meth:`~repro.core.snapshot.Snapshotable.restore`
+    into an identically configured instance — after which the restored
+    stream emits the bit-identical tail.  The base state is the generator
+    bit-state plus position (plus the active concept for generators with
+    ``set_concept``); wrappers contribute their cursors, carries, and
+    pending-uniform buffers through :meth:`_snapshot_extra`.
     """
+
+    SNAPSHOT_SELF_CONTAINED = False
 
     def __init__(self, schema: StreamSchema, seed: int | None = None) -> None:
         if (
@@ -158,6 +171,32 @@ class DataStream(abc.ABC):
         """Reset the stream to its initial state (same seed, position zero)."""
         self._rng = np.random.default_rng(self._seed)
         self._position = 0
+
+    # ------------------------------------------------------------- snapshots
+    def _snapshot_state(self) -> dict:
+        state: dict = {"rng": self._rng, "position": self._position}
+        if hasattr(self, "set_concept") and hasattr(self, "_concept"):
+            state["concept"] = self._concept
+        extra = self._snapshot_extra()
+        if extra:
+            state["extra"] = extra
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        if "concept" in state and state["concept"] != getattr(
+            self, "_concept", None
+        ):
+            self.set_concept(int(state["concept"]))
+        self._rng = state["rng"]
+        self._position = int(state["position"])
+        self._restore_extra(state.get("extra", {}))
+
+    def _snapshot_extra(self) -> dict:
+        """Subclass hook: extra mutable state beyond rng/position/concept."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: apply the state captured by :meth:`_snapshot_extra`."""
 
     # ------------------------------------------------------------ primitives
     def _generate(self) -> Instance:
@@ -283,6 +322,12 @@ class ListStream(DataStream):
     def restart(self) -> None:
         super().restart()
         self._cursor = 0
+
+    def _snapshot_extra(self) -> dict:
+        return {"cursor": self._cursor}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._cursor = int(extra["cursor"])
 
     def _generate(self) -> Instance:
         if self._cursor >= len(self._instances):

@@ -166,6 +166,20 @@ class ConceptDriftStream(DriftingStream):
         self._carry = {False: None, True: None}
         self._pending_decisions = None
 
+    def _snapshot_extra(self) -> dict:
+        return {
+            "base": self._base,
+            "drift": self._drift,
+            "carry": self._carry,
+            "pending_decisions": self._pending_decisions,
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._base.restore(extra["base"])
+        self._drift.restore(extra["drift"])
+        self._carry = extra["carry"]
+        self._pending_decisions = extra["pending_decisions"]
+
     def _new_concept_probability(self, t: int) -> float:
         if t < self._drift_position:
             return 0.0
@@ -314,6 +328,13 @@ class ConceptScheduleStream(DriftingStream):
         self._generator.restart()
         self._next_switch = 0
 
+    def _snapshot_extra(self) -> dict:
+        return {"generator": self._generator, "next_switch": self._next_switch}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._generator.restore(extra["generator"])
+        self._next_switch = int(extra["next_switch"])
+
     def _apply_due_switches(self, position: int) -> None:
         while (
             self._next_switch < len(self._schedule)
@@ -395,6 +416,16 @@ class RecurringDriftStream(DriftingStream):
         super().restart()
         self._generator.restart()
         self._current_index = -1
+
+    def _snapshot_extra(self) -> dict:
+        return {
+            "generator": self._generator,
+            "current_index": self._current_index,
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._generator.restore(extra["generator"])
+        self._current_index = int(extra["current_index"])
 
     def _generate(self) -> Instance:
         index = (self._position // self._period) % len(self._concepts)
@@ -489,6 +520,13 @@ class LocalDriftStream(DriftingStream):
         super().restart()
         self._old.restart()
         self._new.restart()
+
+    def _snapshot_extra(self) -> dict:
+        return {"old": self._old, "new": self._new}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._old.restore(extra["old"])
+        self._new.restore(extra["new"])
 
     def _new_concept_probability(self, t: int) -> float:
         if t < self._drift_position:

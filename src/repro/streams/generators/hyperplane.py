@@ -78,6 +78,15 @@ class HyperplaneGenerator(DataStream):
         self._concept = concept
         self._init_concept(concept)
 
+    def _snapshot_extra(self) -> dict:
+        # The hyperplane drifts during generation, so the evolved weights
+        # (not just the concept they started from) are part of the state.
+        return {"weights": self._weights, "directions": self._directions}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._weights = extra["weights"]
+        self._directions = extra["directions"]
+
     def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         n_features = self.n_features
         noisy = self._noise > 0.0

@@ -88,6 +88,12 @@ class LEDGenerator(DataStream):
     def n_drift_attributes(self) -> int:
         return self._n_drift
 
+    def _snapshot_extra(self) -> dict:
+        return {"n_drift": self._n_drift}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.set_drift_attributes(int(extra["n_drift"]))
+
     def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         u = self._rng.random((n, 8 + self._n_irrelevant))
         digits = vo.uniform_integers(u[:, 0], 10)

@@ -107,6 +107,18 @@ class RandomRBFGenerator(DataStream):
         self._concept = concept
         self._init_concept(concept)
 
+    def _snapshot_extra(self) -> dict:
+        # Centroids move during generation when centroid_speed > 0; their
+        # std-devs/labels/weights stay concept-derived and are rebuilt by
+        # set_concept on restore.
+        return {"centres": self._centres}
+
+    def _restore_extra(self, extra: dict) -> None:
+        centres = extra["centres"]
+        for i, centroid in enumerate(self._centroids):
+            centroid.centre = centres[i].copy()
+        self._refresh_centroid_arrays()
+
     def centroids_of_class(self, label: int) -> list[np.ndarray]:
         """Return the centres currently assigned to ``label`` (for inspection)."""
         return [c.centre.copy() for c in self._centroids if c.class_label == label]

@@ -288,6 +288,15 @@ class ImbalancedStream(DataStream):
         self._sampler.restart()
         self._uniforms.clear()
 
+    def _snapshot_extra(self) -> dict:
+        # The sampler snapshot covers the wrapped base stream (they share the
+        # object), so the base needs no separate entry.
+        return {"sampler": self._sampler, "uniforms": self._uniforms}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._sampler.restore(extra["sampler"])
+        self._uniforms = extra["uniforms"]
+
     def _generate_batch(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         # One uniform per emitted instance, drawn as a block; the target class
         # comes from the inverse CDF of the position-dependent priors, so the

@@ -22,6 +22,7 @@ from typing import Deque
 
 import numpy as np
 
+from repro.core.snapshot import Snapshotable
 from repro.streams.base import DataStream
 
 __all__ = [
@@ -50,7 +51,7 @@ def inverse_cdf_classes(
     return np.minimum((cdf <= u[:, None]).sum(axis=1), top)
 
 
-class UniformReplayBuffer:
+class UniformReplayBuffer(Snapshotable):
     """Uniform draws with exact replay of rows returned to the buffer.
 
     ``take(n, rng)`` serves pending (previously stashed) rows first and only
@@ -88,7 +89,7 @@ class UniformReplayBuffer:
         self._pending = None
 
 
-class ClassConditionalSampler:
+class ClassConditionalSampler(Snapshotable):
     """Class-conditional rejection sampler over one source stream.
 
     Draws source rows in blocks of ``block_size`` (``1`` reproduces the
@@ -125,6 +126,26 @@ class ClassConditionalSampler:
         self._block_x: np.ndarray | None = None
         self._block_y: np.ndarray | None = None
         self._cursor = 0
+
+    # The wrapped stream holds un-serialisable factories, so the sampler is
+    # restore-in-place like the streams themselves.
+    SNAPSHOT_SELF_CONTAINED = False
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "stream": self.stream,
+            "buffers": self.buffers,
+            "block_x": self._block_x,
+            "block_y": self._block_y,
+            "cursor": self._cursor,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self.stream.restore(state["stream"])
+        self.buffers = state["buffers"]
+        self._block_x = state["block_x"]
+        self._block_y = state["block_y"]
+        self._cursor = int(state["cursor"])
 
     def restart(self) -> None:
         self.stream.restart()

@@ -401,6 +401,21 @@ class ScheduledStream(DriftingStream):
             sampler.restart()
         self._uniforms.clear()
 
+    def _snapshot_extra(self) -> dict:
+        return {"samplers": self._samplers, "uniforms": self._uniforms}
+
+    def _restore_extra(self, extra: dict) -> None:
+        snapshotted = {int(concept) for concept in extra["samplers"]}
+        for concept in [c for c in self._samplers if c not in snapshotted]:
+            # Samplers the snapshot never reached (restoring to an earlier
+            # point) would otherwise keep their advanced source RNGs.
+            del self._samplers[concept]
+        for concept, sampler_state in extra["samplers"].items():
+            # Samplers are created lazily per concept; instantiate any the
+            # restoring instance has not reached yet, then restore in place.
+            self._sampler(int(concept)).restore(sampler_state)
+        self._uniforms = extra["uniforms"]
+
     # --------------------------------------------------------------- plumbing
     def _make_sampler(self, stream: DataStream) -> ClassConditionalSampler:
         return ClassConditionalSampler(

@@ -47,6 +47,12 @@ RESET_REPLAY = """\
     DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
 """
 
+SNAPSHOT_SUITE = """\
+    from repro.protocol.registry import DETECTOR_NAMES
+
+    DETECTORS = [name for name in DETECTOR_NAMES if name != "none"]
+"""
+
 FLEET = """\
     def _ddm_kernel():
         pass
@@ -76,6 +82,7 @@ BASELINE = {
     "src/repro/fleet/__init__.py": FLEET,
     "tests/golden/ddm.json": "{}",
     "tests/detectors/test_reset_replay.py": RESET_REPLAY,
+    "tests/detectors/test_snapshot_roundtrip.py": SNAPSHOT_SUITE,
     "tests/property/test_property_fleet.py": FLEET_SUITE,
 }
 
@@ -236,6 +243,36 @@ class TestContractCoverage:
         findings = run_rule(root)
         assert [finding.rule for finding in findings] == ["contract-coverage"]
         assert "missing" in findings[0].message
+
+    def test_missing_snapshot_suite_fires_per_detector(self, fake_repo):
+        root = fake_repo()
+        (root / "tests/detectors/test_snapshot_roundtrip.py").unlink()
+        findings = run_rule(root)
+        assert [finding.rule for finding in findings] == ["contract-coverage"]
+        assert "snapshot" in findings[0].message
+        assert "missing" in findings[0].message
+
+    def test_hardcoded_snapshot_list_fires_for_uncovered_detector(
+        self, fake_repo
+    ):
+        root = fake_repo(
+            {
+                "src/repro/protocol/registry.py": REGISTRY.replace(
+                    '"ddm": _build_ddm,',
+                    '"ddm": _build_ddm,\n        "eddm": _build_ddm,',
+                ),
+                "tests/golden/eddm.json": "{}",
+                # The suite pins a literal list instead of DETECTOR_NAMES.
+                "tests/detectors/test_snapshot_roundtrip.py": (
+                    'DETECTORS = ["ddm"]\n'
+                ),
+            }
+        )
+        findings = run_rule(root)
+        assert [finding.rule for finding in findings] == ["contract-coverage"]
+        assert "eddm" in findings[0].message
+        assert "snapshot" in findings[0].message
+        assert findings[0].line == 15
 
     def test_live_repo_registry_resolves_end_to_end(self):
         """Against the real tree: every registry detector resolves to a class

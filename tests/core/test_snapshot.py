@@ -1,0 +1,218 @@
+"""Unit tests for the snapshot codec (:mod:`repro.core.snapshot`).
+
+The codec is the foundation of rollback and crash-resume: every tag must
+survive a **strict-JSON** round-trip losslessly (that is what a persisted
+checkpoint actually goes through), including the values ``dumps_strict``
+would otherwise destroy — non-finite floats — and the values plain JSON
+cannot represent — ndarrays, Generator bit-states, tuples, sets, deques,
+non-string dict keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.jsonio import dumps_strict, loads_strict
+from repro.core.snapshot import (
+    SnapshotError,
+    Snapshotable,
+    decode_state,
+    encode_state,
+    register_dataclass,
+    snapshotable_class,
+)
+
+
+def _roundtrip(value):
+    return decode_state(loads_strict(dumps_strict(encode_state(value))))
+
+
+# ------------------------------------------------------------------- scalars
+def test_scalars_roundtrip() -> None:
+    for value in (None, True, False, 0, -17, 3.5, "text", ""):
+        assert _roundtrip(value) == value
+        assert type(_roundtrip(value)) is type(value)
+
+
+def test_nonfinite_floats_survive_strict_json() -> None:
+    # dumps_strict nulls bare non-finite floats; the __f64__ tag is what
+    # keeps inf/nan state (min/max trackers, unseen-class sentinels) alive.
+    assert _roundtrip(float("inf")) == float("inf")
+    assert _roundtrip(float("-inf")) == float("-inf")
+    assert np.isnan(_roundtrip(float("nan")))
+
+
+def test_numpy_scalars_decode_as_python() -> None:
+    assert _roundtrip(np.float64(2.5)) == 2.5
+    assert _roundtrip(np.int64(7)) == 7
+    assert _roundtrip(np.bool_(True)) is True
+
+
+# -------------------------------------------------------------------- arrays
+@pytest.mark.parametrize(
+    "array",
+    [
+        np.arange(12, dtype=np.float64).reshape(3, 4),
+        np.array([], dtype=np.float64),
+        np.array([[1, 2], [3, 4]], dtype=np.int64).T,  # non-contiguous
+        np.array([np.nan, np.inf, -np.inf, 0.0]),
+        np.zeros((2, 0, 3)),
+        np.array([True, False]),
+        np.arange(6, dtype=np.int32),
+    ],
+)
+def test_ndarray_roundtrip_bitexact(array: np.ndarray) -> None:
+    restored = _roundtrip(array)
+    assert restored.dtype == array.dtype
+    assert restored.shape == array.shape
+    np.testing.assert_array_equal(restored, array)
+
+
+def test_generator_roundtrip_resumes_identical_draws() -> None:
+    rng = np.random.default_rng(1234)
+    rng.random(97)  # advance into an odd phase
+    restored = _roundtrip(rng)
+    np.testing.assert_array_equal(restored.random(50), rng.random(50))
+    np.testing.assert_array_equal(
+        restored.integers(0, 1000, 50), rng.integers(0, 1000, 50)
+    )
+
+
+# ---------------------------------------------------------------- containers
+def test_containers_roundtrip() -> None:
+    value = {
+        "tuple": (1, 2.5, "x"),
+        "set": {3, 1, 2},
+        "frozen": frozenset({"a", "b"}),
+        "deque": deque([1.0, 2.0], maxlen=5),
+        "nested": [{"k": (np.arange(3),)}],
+    }
+    restored = _roundtrip(value)
+    assert restored["tuple"] == (1, 2.5, "x")
+    assert restored["set"] == {3, 1, 2}
+    assert restored["frozen"] == {"a", "b"}
+    assert restored["deque"] == deque([1.0, 2.0])
+    assert restored["deque"].maxlen == 5
+    np.testing.assert_array_equal(restored["nested"][0]["k"][0], np.arange(3))
+
+
+def test_nonstring_dict_keys_roundtrip() -> None:
+    value = {0: "zero", 1: "one"}
+    restored = _roundtrip(value)
+    assert restored == value
+    assert all(isinstance(key, int) for key in restored)
+
+
+def test_tag_shaped_plain_dict_is_not_mistaken_for_a_tag() -> None:
+    # A dict whose single key happens to be a codec tag must round-trip as
+    # data, not be decoded as an encoded value.
+    value = {"__nd__": "not an array"}
+    assert _roundtrip(value) == value
+
+
+def test_unencodable_value_raises() -> None:
+    with pytest.raises(SnapshotError):
+        encode_state(object())
+    with pytest.raises(SnapshotError):
+        encode_state(lambda: None)
+
+
+# --------------------------------------------------------------- dataclasses
+@register_dataclass
+@dataclasses.dataclass
+class _Point:
+    x: float
+    y: float
+    tags: tuple = ()
+
+
+def test_registered_dataclass_roundtrip() -> None:
+    point = _Point(x=1.5, y=float("inf"), tags=("a", "b"))
+    restored = _roundtrip(point)
+    assert isinstance(restored, _Point)
+    assert restored == point
+
+
+def test_register_dataclass_rejects_non_dataclass() -> None:
+    with pytest.raises(SnapshotError):
+        register_dataclass(int)
+
+
+# --------------------------------------------------------------- Snapshotable
+class _Counter(Snapshotable):
+    def __init__(self) -> None:
+        self.count = 0
+        self.history = deque(maxlen=3)
+        self._scratch = np.empty(4)
+
+    _SNAPSHOT_EXCLUDE = frozenset({"_scratch"})
+
+    def _after_restore(self) -> None:
+        self._scratch = np.empty(4)
+
+    def bump(self) -> None:
+        self.count += 1
+        self.history.append(self.count)
+
+
+def test_snapshotable_roundtrip_and_registry() -> None:
+    counter = _Counter()
+    for _ in range(5):
+        counter.bump()
+    snapshot = loads_strict(dumps_strict(counter.snapshot()))
+    clone = _Counter.from_snapshot(snapshot)
+    assert clone.count == 5
+    assert clone.history == deque([3, 4, 5])
+    assert clone._scratch.shape == (4,)  # rebuilt, not serialised
+    assert snapshotable_class("_Counter") is _Counter
+
+
+def test_restore_rejects_kind_and_version_mismatch() -> None:
+    counter = _Counter()
+    snapshot = counter.snapshot()
+    with pytest.raises(SnapshotError):
+        counter.restore(dict(snapshot, kind="Other"))
+    with pytest.raises(SnapshotError):
+        counter.restore(dict(snapshot, version=99))
+    with pytest.raises(SnapshotError):
+        counter.restore({"kind": "_Counter"})  # no state
+
+
+class _InPlaceOnly(Snapshotable):
+    SNAPSHOT_SELF_CONTAINED = False
+
+    def __init__(self, factory) -> None:
+        self.factory = factory
+        self.value = 0
+
+    def _snapshot_state(self) -> dict:
+        return {"value": self.value}
+
+
+def test_from_snapshot_refuses_restore_in_place_classes() -> None:
+    instance = _InPlaceOnly(factory=lambda: 1)
+    instance.value = 9
+    snapshot = instance.snapshot()
+    with pytest.raises(SnapshotError):
+        Snapshotable.from_snapshot(snapshot)
+    target = _InPlaceOnly(factory=lambda: 2)
+    target.restore(snapshot)
+    assert target.value == 9
+
+
+def test_nested_snapshotable_inside_state() -> None:
+    class _Holder(Snapshotable):
+        def __init__(self) -> None:
+            self.inner = _Counter()
+
+    holder = _Holder()
+    holder.inner.bump()
+    clone = _Holder.from_snapshot(
+        loads_strict(dumps_strict(holder.snapshot()))
+    )
+    assert isinstance(clone.inner, _Counter)
+    assert clone.inner.count == 1

@@ -1,0 +1,172 @@
+"""Mid-run checkpoint/resume of :class:`PrequentialRunner`.
+
+The crash model: the process dies the instant after a checkpoint write — the
+worst-case point for resume correctness, since everything after the write is
+lost.  We simulate it by making :meth:`RunnerCheckpoint.save` raise *after*
+persisting its Nth cut, then rerun the identical configuration against the
+surviving file.  The resumed run must be bit-identical — detections, blamed
+classes, every windowed metric, every snapshot — to an uninterrupted run, in
+all three execution modes, with and without a detector.
+
+Also pinned: a checkpoint recorded under a different run configuration, or a
+torn/corrupt file, is *ignored* (fresh start, same results) rather than
+half-applied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.checkpoint import RunnerCheckpoint
+from repro.evaluation.experiment import default_classifier_factory
+from repro.evaluation.prequential import PrequentialRunner
+from repro.protocol.registry import build_detector
+from repro.streams.scenarios import make_artificial_stream
+
+N_INSTANCES = 1_500
+CHUNK = 128
+
+
+class _Killed(RuntimeError):
+    """Stands in for SIGKILL right after a checkpoint write."""
+
+
+def _make_stream():
+    return make_artificial_stream("rbf", n_classes=3, n_instances=N_INSTANCES, seed=9)
+
+
+def _make_runner(mode: str) -> PrequentialRunner:
+    chunked = {
+        "instance": dict(chunk_size=None),
+        "chunked": dict(chunk_size=CHUNK),
+        "batch": dict(chunk_size=CHUNK, batch_mode=True),
+    }[mode]
+    return PrequentialRunner(
+        classifier_factory=default_classifier_factory,
+        window_size=500,
+        pretrain_size=100,
+        rebuild_buffer=100,
+        snapshot_every=250,
+        **chunked,
+    )
+
+
+def _run(mode: str, detector_name: "str | None", **kwargs):
+    runner = _make_runner(mode)
+    stream = _make_stream()
+    detector = (
+        None
+        if detector_name is None
+        else build_detector(detector_name, stream.stream.n_features, 3)
+    )
+    return runner.run(
+        stream, detector, n_instances=N_INSTANCES, detector_name="d", **kwargs
+    )
+
+
+def _assert_identical(resumed, reference) -> None:
+    assert resumed.detections == reference.detections
+    assert resumed.detected_classes == reference.detected_classes
+    assert resumed.pmauc == reference.pmauc
+    assert resumed.pmgm == reference.pmgm
+    assert resumed.accuracy == reference.accuracy
+    assert resumed.kappa == reference.kappa
+    assert resumed.n_instances == reference.n_instances
+    assert [
+        (s.position, s.pmauc, s.pmgm, s.accuracy, s.kappa)
+        for s in resumed.snapshots
+    ] == [
+        (s.position, s.pmauc, s.pmgm, s.accuracy, s.kappa)
+        for s in reference.snapshots
+    ]
+
+
+@pytest.mark.parametrize("mode", ["instance", "chunked", "batch"])
+@pytest.mark.parametrize("detector_name", ["RBM-IM", "ADWIN", None])
+def test_killed_run_resumes_bit_identical(tmp_path, monkeypatch, mode, detector_name):
+    reference = _run(mode, detector_name)
+
+    path = tmp_path / "checkpoint.json"
+    real_save = RunnerCheckpoint.save
+    saves = {"count": 0}
+
+    def dying_save(self, target):
+        real_save(self, target)
+        saves["count"] += 1
+        if saves["count"] == 3:
+            raise _Killed()
+
+    monkeypatch.setattr(RunnerCheckpoint, "save", dying_save)
+    with pytest.raises(_Killed):
+        _run(mode, detector_name, checkpoint_path=path, checkpoint_every=CHUNK)
+    monkeypatch.undo()
+    assert path.is_file()  # the cut written just before the "kill" survived
+
+    killed_at = RunnerCheckpoint.load(path)
+    assert killed_at is not None
+    assert 0 < killed_at.produced < N_INSTANCES  # genuinely mid-run
+
+    resumed = _run(mode, detector_name, checkpoint_path=path, checkpoint_every=CHUNK)
+    _assert_identical(resumed, reference)
+
+
+def test_checkpointing_itself_changes_nothing(tmp_path):
+    """A run that merely *writes* checkpoints equals one that never does."""
+    reference = _run("chunked", "RBM-IM")
+    observed = _run(
+        "chunked",
+        "RBM-IM",
+        checkpoint_path=tmp_path / "checkpoint.json",
+        checkpoint_every=CHUNK,
+    )
+    _assert_identical(observed, reference)
+
+
+def test_mismatched_checkpoint_is_ignored(tmp_path, monkeypatch):
+    """A checkpoint from a different run configuration must not be applied."""
+    path = tmp_path / "checkpoint.json"
+    real_save = RunnerCheckpoint.save
+
+    def dying_save(self, target):
+        real_save(self, target)
+        raise _Killed()
+
+    monkeypatch.setattr(RunnerCheckpoint, "save", dying_save)
+    with pytest.raises(_Killed):
+        _run("chunked", "DDM", checkpoint_path=path, checkpoint_every=CHUNK)
+    monkeypatch.undo()
+    assert path.is_file()
+
+    # Same path, different detector: the checkpoint's meta does not match,
+    # so the run starts fresh and equals the uncheckpointed reference.
+    reference = _run("chunked", "ADWIN")
+    observed = _run("chunked", "ADWIN", checkpoint_path=path, checkpoint_every=CHUNK)
+    _assert_identical(observed, reference)
+
+
+def test_corrupt_checkpoint_is_ignored(tmp_path):
+    path = tmp_path / "checkpoint.json"
+    path.write_text('{"kind": "RunnerCheckpoint", "version":', encoding="utf-8")
+    reference = _run("chunked", "DDM")
+    observed = _run("chunked", "DDM", checkpoint_path=path, checkpoint_every=CHUNK)
+    _assert_identical(observed, reference)
+
+
+def test_checkpoints_land_on_chunk_boundaries(tmp_path, monkeypatch):
+    produced_at_save = []
+    real_save = RunnerCheckpoint.save
+
+    def recording_save(self, target):
+        produced_at_save.append(self.produced)
+        real_save(self, target)
+
+    monkeypatch.setattr(RunnerCheckpoint, "save", recording_save)
+    _run(
+        "batch",
+        "DDM",
+        checkpoint_path=tmp_path / "checkpoint.json",
+        checkpoint_every=CHUNK,
+    )
+    assert produced_at_save, "no checkpoint was ever written"
+    assert all(produced % CHUNK == 0 for produced in produced_at_save)
+    assert produced_at_save == sorted(set(produced_at_save))

@@ -1,0 +1,202 @@
+"""Mid-cell checkpoint/resume through the protocol pipeline and CLI.
+
+The acceptance scenario of the snapshot/restore PR: SIGKILL the CLI while it
+is *inside* a cell (a mid-cell checkpoint exists, no record yet), re-invoke,
+and the pipeline must resume that cell from its runner checkpoint — finishing
+with records key-for-key identical (timings aside) to a run that was never
+killed, and with the checkpoint side-area empty again.
+
+Also pinned here: the checkpoint side-area contract of both store backends —
+checkpoints live under ``<root>/checkpoints/`` and are invisible to the
+record namespace (``records()``, ``statuses()``, ``keys()``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.protocol.sharded_store import ShardedResultsStore
+from repro.protocol.store import ResultsStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Record fields that legitimately differ between two executions of the same
+#: cell (timing); everything else must match key-for-key.
+_VOLATILE = ("wall_time", "detector_time", "classifier_time")
+
+
+def _stable(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k not in _VOLATILE}
+
+
+# ---------------------------------------------------------- store side-area
+@pytest.mark.parametrize("backend", [ResultsStore, ShardedResultsStore])
+def test_checkpoint_side_area_roundtrip(tmp_path, backend):
+    store = backend(tmp_path / "store")
+    payload = {"kind": "RunnerCheckpoint", "version": 1, "produced": 256}
+
+    assert store.get_checkpoint("cell/a:1") is None
+    path = store.checkpoint_path_for("cell/a:1")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert store.get_checkpoint("cell/a:1") == payload
+
+    # Path separators are flattened exactly like record keys are.
+    assert path.name == "cell_a:1.json"
+    assert path.parent.name == "checkpoints"
+
+    assert store.discard_checkpoint("cell/a:1")
+    assert store.get_checkpoint("cell/a:1") is None
+    assert not store.discard_checkpoint("cell/a:1")  # idempotent
+
+
+@pytest.mark.parametrize("backend", [ResultsStore, ShardedResultsStore])
+def test_checkpoints_are_invisible_to_the_record_namespace(tmp_path, backend):
+    store = backend(tmp_path / "store")
+    store.put("done-cell", {"status": "ok", "pmauc": 0.5})
+    path = store.checkpoint_path_for("half-done-cell")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('{"kind": "RunnerCheckpoint"}', encoding="utf-8")
+
+    assert store.keys() == ["done-cell"]
+    assert dict(store.records()) == {"done-cell": {"status": "ok", "pmauc": 0.5}}
+    assert store.statuses() == {"done-cell": True}
+    assert "half-done-cell" not in store
+    # ...but the checkpoint is still there for the resuming runner.
+    assert store.get_checkpoint("half-done-cell") is not None
+
+
+@pytest.mark.parametrize("backend", [ResultsStore, ShardedResultsStore])
+def test_corrupt_checkpoint_reads_as_absent(tmp_path, backend):
+    store = backend(tmp_path / "store")
+    path = store.checkpoint_path_for("cell")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json", encoding="utf-8")
+    assert store.get_checkpoint("cell") is None
+    assert store.discard_checkpoint("cell")  # cleanup still works
+
+
+# ------------------------------------------------------------ CLI SIGKILL
+def _cli_run(store: Path, *extra: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.protocol",
+            "run",
+            "--preset",
+            "quick",
+            "--store",
+            str(store),
+            "--backend",
+            "serial",
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def test_sigkill_mid_cell_resumes_from_runner_checkpoint(tmp_path):
+    """Kill inside a cell; the rerun must finish that cell mid-stream."""
+    reference_store = tmp_path / "reference"
+    _cli_run(reference_store)
+    reference = dict(ResultsStore(reference_store).records())
+
+    store = tmp_path / "results"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.protocol",
+            "run",
+            "--preset",
+            "quick",
+            "--store",
+            str(store),
+            "--backend",
+            "serial",
+            "--checkpoint-every",
+            "100",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    checkpoints = store / "checkpoints"
+
+    def durable_checkpoints() -> list[Path]:
+        # In-flight atomic-write temp files (.tmp-*) are not checkpoints; a
+        # SIGKILL can strand one, exactly like it can in the record area.
+        return [
+            path
+            for path in checkpoints.glob("*.json")
+            if not path.name.startswith(".tmp-")
+        ]
+
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if durable_checkpoints():
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.002)
+        else:
+            pytest.fail("no mid-cell checkpoint appeared within the deadline")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    survivors = durable_checkpoints()
+    if not survivors:
+        pytest.skip("run finished before the kill landed; resume not observable")
+
+    out = _cli_run(store, "--checkpoint-every", "100")
+    assert "2 completed, 0 failed, 0 pending" in out.stdout
+
+    resumed = dict(ResultsStore(store).records())
+    assert sorted(resumed) == sorted(reference)
+    for key, record in reference.items():
+        assert _stable(resumed[key]) == _stable(record), key
+    # Completed cells tidy up after themselves.
+    assert not durable_checkpoints()
+
+
+def test_checkpointed_run_matches_plain_run(tmp_path):
+    """--checkpoint-every must not change any result, kill or no kill."""
+    plain = tmp_path / "plain"
+    _cli_run(plain)
+    checkpointed = tmp_path / "checkpointed"
+    _cli_run(checkpointed, "--checkpoint-every", "100")
+
+    plain_records = dict(ResultsStore(plain).records())
+    checkpointed_records = dict(ResultsStore(checkpointed).records())
+    assert sorted(plain_records) == sorted(checkpointed_records)
+    for key, record in plain_records.items():
+        assert _stable(checkpointed_records[key]) == _stable(record), key
+    assert not list((checkpointed / "checkpoints").glob("*.json"))

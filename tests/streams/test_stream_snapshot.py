@@ -1,0 +1,159 @@
+"""Snapshot/restore round-trips for streams, wrappers, and scenarios.
+
+Streams are restore-in-place snapshotables: a snapshot loaded (after a
+strict-JSON round-trip, exactly what a persisted checkpoint goes through)
+into an *identically configured* instance must emit the bit-identical tail —
+generator RNG bit-state, pending-uniform replay buffers, schedule cursors,
+per-class sampler buffers and drift-wrapper carries included.  The scenario
+sweep below covers every registered scenario family, hence every generator
+and wrapper the protocol composes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jsonio import dumps_strict, loads_strict
+from repro.core.snapshot import SnapshotError
+from repro.streams.base import ListStream
+from repro.streams.scenarios import (
+    SCENARIO_BUILDERS,
+    build_scenario_stream,
+    make_artificial_stream,
+)
+
+N_INSTANCES = 900
+HEAD = 413  # deliberately not a multiple of any chunk size in play
+TAIL = 300
+
+
+def _json_roundtrip(snapshot: dict) -> dict:
+    return loads_strict(dumps_strict(snapshot))
+
+
+def _checkpoint_tail(make_stream, head: int = HEAD, tail: int = TAIL):
+    """(expected tail, snapshot at head) of one seeded stream realization."""
+    stream = make_stream()
+    stream.generate_batch(head)
+    snapshot = _json_roundtrip(stream.snapshot())
+    expected = stream.generate_batch(tail)
+    return expected, snapshot
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIO_BUILDERS))
+def test_scenario_stream_restores_identical_tail(scenario: int) -> None:
+    def make():
+        return build_scenario_stream(
+            scenario,
+            family="rbf",
+            n_classes=3,
+            n_instances=N_INSTANCES,
+            n_drifts=2,
+            max_imbalance_ratio=20.0,
+            seed=11,
+        ).stream
+
+    (expected_x, expected_y), snapshot = _checkpoint_tail(make)
+
+    fresh = make()
+    fresh.restore(snapshot)
+    assert fresh.position == HEAD
+    got_x, got_y = fresh.generate_batch(TAIL)
+    np.testing.assert_array_equal(got_x, expected_x)
+    np.testing.assert_array_equal(got_y, expected_y)
+
+
+@pytest.mark.parametrize("family", ["agrawal", "hyperplane", "rbf", "randomtree"])
+def test_artificial_family_restores_identical_tail(family: str) -> None:
+    def make():
+        return make_artificial_stream(
+            family, n_classes=3, n_instances=N_INSTANCES, seed=7
+        ).stream
+
+    (expected_x, expected_y), snapshot = _checkpoint_tail(make)
+    fresh = make()
+    fresh.restore(snapshot)
+    got_x, got_y = fresh.generate_batch(TAIL)
+    np.testing.assert_array_equal(got_x, expected_x)
+    np.testing.assert_array_equal(got_y, expected_y)
+
+
+def test_restore_rewinds_an_advanced_stream() -> None:
+    """Restoring *backwards* into the same object must also be exact.
+
+    This is the chunk-rollback direction: the stream has advanced past the
+    checkpoint (stale per-concept samplers, drift carries, later schedule
+    cursor) and must come all the way back.
+    """
+
+    def make():
+        return build_scenario_stream(
+            4,  # recurring drift: concepts revisit, samplers accumulate
+            family="rbf",
+            n_classes=3,
+            n_instances=N_INSTANCES,
+            n_drifts=2,
+            max_imbalance_ratio=20.0,
+            seed=23,
+        ).stream
+
+    (expected_x, expected_y), snapshot = _checkpoint_tail(make)
+    advanced = make()
+    advanced.generate_batch(HEAD + 350)  # well past the checkpoint
+    advanced.restore(snapshot)
+    got_x, got_y = advanced.generate_batch(TAIL)
+    np.testing.assert_array_equal(got_x, expected_x)
+    np.testing.assert_array_equal(got_y, expected_y)
+
+
+def test_restore_is_chunking_invariant() -> None:
+    """The restored tail is identical however the original was chunked."""
+
+    def make():
+        return make_artificial_stream(
+            "hyperplane", n_classes=3, n_instances=N_INSTANCES, seed=5
+        ).stream
+
+    stream = make()
+    for chunk in (64, 64, 64, 64, 64, 64, 29):  # 413 = HEAD, ragged end
+        stream.generate_batch(chunk)
+    snapshot = _json_roundtrip(stream.snapshot())
+    expected_x, expected_y = stream.generate_batch(TAIL)
+
+    fresh = make()
+    fresh.restore(snapshot)
+    parts = [fresh.generate_batch(100) for _ in range(3)]
+    got_x = np.vstack([x for x, _ in parts])
+    got_y = np.concatenate([y for _, y in parts])
+    np.testing.assert_array_equal(got_x, expected_x)
+    np.testing.assert_array_equal(got_y, expected_y)
+
+
+def test_list_stream_cursor_roundtrip() -> None:
+    rng = np.random.default_rng(0)
+    from repro.streams.base import Instance
+
+    instances = [
+        Instance(x=rng.random(3), y=int(rng.integers(0, 2))) for _ in range(40)
+    ]
+    stream = ListStream(instances)
+    stream.generate_batch(17)
+    snapshot = _json_roundtrip(stream.snapshot())
+    expected_x, expected_y = stream.generate_batch(10)
+
+    fresh = ListStream(instances)
+    fresh.restore(snapshot)
+    got_x, got_y = fresh.generate_batch(10)
+    np.testing.assert_array_equal(got_x, expected_x)
+    np.testing.assert_array_equal(got_y, expected_y)
+
+
+def test_streams_are_restore_in_place_only() -> None:
+    from repro.core.snapshot import Snapshotable
+
+    stream = make_artificial_stream(
+        "rbf", n_classes=3, n_instances=N_INSTANCES, seed=1
+    ).stream
+    with pytest.raises(SnapshotError):
+        Snapshotable.from_snapshot(stream.snapshot())
